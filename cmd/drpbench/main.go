@@ -1,0 +1,156 @@
+// Command drpbench regenerates the paper's evaluation figures (Section 6).
+//
+// Usage:
+//
+//	drpbench -fig 1a                 # one figure, quick preset
+//	drpbench -fig all -preset paper  # full campaign at paper fidelity
+//	drpbench -fig 3a -csv            # machine-readable output
+//
+// Figures: 1a 1b 1c 1d (SRA/GRA savings & replicas vs sites/objects),
+// 2a 2b (runtimes vs sites), 3a 3b (savings vs update ratio / capacity),
+// 4a 4b 4c 4d (adaptive AGRA policies under pattern changes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"drp/internal/experiments"
+	"drp/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "drpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("drpbench", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure id (1a..4d) or 'all'")
+		preset   = fs.String("preset", "quick", "campaign preset: quick | paper | tiny")
+		networks = fs.Int("networks", 0, "override: networks averaged per point")
+		gens     = fs.Int("gens", 0, "override: GRA generations")
+		pop      = fs.Int("pop", 0, "override: GRA population size")
+		seed     = fs.Uint64("seed", 0, "override: campaign seed")
+		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
+		svgDir   = fs.String("svg", "", "also write each figure as an SVG chart into this directory")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg experiments.Config
+	switch *preset {
+	case "quick":
+		cfg = experiments.Quick()
+	case "paper":
+		cfg = experiments.Paper()
+	case "tiny":
+		cfg = experiments.Tiny()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	if *networks > 0 {
+		cfg.Networks = *networks
+	}
+	if *gens > 0 {
+		cfg.GRAGens = *gens
+	}
+	if *pop > 0 {
+		cfg.GRAPop = *pop
+	}
+	if *seed > 0 {
+		cfg.Seed = *seed
+	}
+
+	logFn := func(format string, a ...interface{}) {
+		if !*quiet {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		}
+	}
+	campaign, err := experiments.NewCampaign(cfg, logFn)
+	if err != nil {
+		return err
+	}
+
+	ids := experiments.FigureIDs
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+		for _, id := range ids {
+			if !experiments.ValidFigure(id) && id != "summary" && id != "conv" {
+				return fmt.Errorf("unknown figure %q (valid: %s, summary, conv)", id, strings.Join(experiments.FigureIDs, " "))
+			}
+		}
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return err
+		}
+	}
+	writeSVG := func(result *experiments.FigureResult) error {
+		if *svgDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(*svgDir, "fig"+result.ID+".svg"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return report.SVG(result, f)
+	}
+	for _, id := range ids {
+		switch id {
+		case "summary":
+			result, err := experiments.RunSummary(cfg, logFn)
+			if err != nil {
+				return err
+			}
+			if err := result.Render(stdout); err != nil {
+				return err
+			}
+			continue
+		case "conv":
+			result, err := experiments.RunConvergence(cfg, logFn)
+			if err != nil {
+				return err
+			}
+			if err := writeSVG(result); err != nil {
+				return err
+			}
+			if *csv {
+				if err := result.RenderCSV(stdout); err != nil {
+					return err
+				}
+			} else if err := result.Render(stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		result, err := campaign.Figure(id)
+		if err != nil {
+			return err
+		}
+		if err := writeSVG(result); err != nil {
+			return err
+		}
+		if *csv {
+			if err := result.RenderCSV(stdout); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+			continue
+		}
+		if err := result.Render(stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

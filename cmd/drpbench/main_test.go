@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchSingleFigureTiny(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "tiny", "-fig", "3b", "-q"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 3b") {
+		t.Fatalf("missing figure header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "GRA") {
+		t.Fatal("missing GRA series")
+	}
+}
+
+func TestBenchCSVOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "tiny", "-fig", "3b", "-csv", "-q"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.HasPrefix(first, "capacity %,") {
+		t.Fatalf("CSV header = %q", first)
+	}
+}
+
+func TestBenchFigureList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "tiny", "-fig", "3a,3b", "-q"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 3a") || !strings.Contains(out.String(), "Figure 3b") {
+		t.Fatal("figure list not honoured")
+	}
+}
+
+func TestBenchOverrides(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-preset", "tiny", "-fig", "3b", "-networks", "1", "-gens", "3", "-pop", "6", "-seed", "9", "-q"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchRejectsBadInput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "warp"}, &out, &errOut); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if err := run([]string{"-fig", "9z"}, &out, &errOut); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestBenchProgressGoesToStderr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "tiny", "-fig", "3b"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "fig3b") {
+		t.Fatalf("progress missing from stderr: %q", errOut.String())
+	}
+	if strings.Contains(out.String(), "fig3b:") {
+		t.Fatal("progress leaked into stdout")
+	}
+}
+
+func TestBenchSummaryAndConvergence(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "tiny", "-fig", "summary", "-q"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Algorithm comparison") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-preset", "tiny", "-fig", "conv", "-q"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "convergence") {
+		t.Fatalf("convergence missing:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-preset", "tiny", "-fig", "conv", "-csv", "-q"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "generation,") {
+		t.Fatalf("convergence CSV header wrong: %q", strings.SplitN(out.String(), "\n", 2)[0])
+	}
+}
+
+func TestBenchSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "tiny", "-fig", "3b", "-q", "-svg", dir}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3b.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("SVG output malformed")
+	}
+}

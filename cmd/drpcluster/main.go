@@ -1,0 +1,120 @@
+// Command drpcluster simulates a distributed system serving reads and
+// writes under the paper's replication policy, with a monitor site
+// re-optimising the replication scheme each epoch while the read/write
+// patterns drift.
+//
+// Usage:
+//
+//	drpcluster -sites 20 -objects 60 -epochs 6 -policy agra+mini -drift 0.2
+//	drpcluster -policy none -fail-site 3 -fail-from 2 -fail-to 4
+//
+// It prints one row per epoch: measured serving cost versus the analytic
+// model, migrations, failures and savings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"drp/internal/agra"
+	"drp/internal/cluster"
+	"drp/internal/gra"
+	"drp/internal/sra"
+	"drp/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "drpcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("drpcluster", flag.ContinueOnError)
+	var (
+		sites    = fs.Int("sites", 20, "number of sites")
+		objects  = fs.Int("objects", 60, "number of objects")
+		update   = fs.Float64("update", 0.05, "update ratio U")
+		capacity = fs.Float64("capacity", 0.15, "capacity ratio C")
+		epochs   = fs.Int("epochs", 6, "measurement periods to simulate")
+		policy   = fs.String("policy", "agra+mini", "monitor policy: none | sra | agra | agra+mini | gra")
+		drift    = fs.Float64("drift", 0.2, "share of objects changing pattern each epoch (0 disables)")
+		driftCh  = fs.Float64("drift-ch", 6.0, "pattern change magnitude (6.0 = +600%)")
+		driftR   = fs.Float64("drift-reads", 0.5, "share of drifting objects whose reads (vs updates) grow")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		failSite = fs.Int("fail-site", -1, "site to take offline (-1 disables)")
+		failFrom = fs.Int("fail-from", 0, "first failed epoch")
+		failTo   = fs.Int("fail-to", 0, "one past the last failed epoch")
+		compare  = fs.Bool("compare", false, "run every policy on identical traffic and print a comparison table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policies := map[string]cluster.Policy{
+		"none":      cluster.PolicyNone,
+		"sra":       cluster.PolicySRA,
+		"agra":      cluster.PolicyAGRA,
+		"agra+mini": cluster.PolicyAGRAMini,
+		"gra":       cluster.PolicyGRA,
+	}
+	pol, ok := policies[*policy]
+	if !ok {
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	p, err := workload.Generate(workload.NewSpec(*sites, *objects, *update, *capacity), *seed)
+	if err != nil {
+		return err
+	}
+	initial := sra.Run(p, sra.Options{}).Scheme
+
+	graParams := gra.DefaultParams()
+	graParams.PopSize = 20
+	graParams.Generations = 20
+	cfg := cluster.Config{
+		Epochs:     *epochs,
+		Policy:     pol,
+		Threshold:  2.0,
+		GRAParams:  graParams,
+		AGRAParams: agra.DefaultParams(),
+		Seed:       *seed,
+	}
+	if *drift > 0 {
+		cfg.Drift = &workload.ChangeSpec{Ch: *driftCh, ObjectShare: *drift, ReadShare: *driftR}
+	}
+	if *failSite >= 0 {
+		cfg.Failures = []cluster.Failure{{Site: *failSite, From: *failFrom, To: *failTo}}
+	}
+
+	if *compare {
+		cmp, err := cluster.Compare(p, initial, cfg, []cluster.Policy{
+			cluster.PolicyNone, cluster.PolicySRA, cluster.PolicyAGRA,
+			cluster.PolicyAGRAMini, cluster.PolicyGRA,
+		})
+		if err != nil {
+			return err
+		}
+		return cmp.Render(stdout)
+	}
+
+	res, err := cluster.Run(p, initial, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "cluster: %d sites, %d objects, policy=%s, drift=%.0f%%/epoch\n\n",
+		*sites, *objects, pol, 100**drift)
+	fmt.Fprintf(stdout, "%5s %9s %8s %12s %12s %7s %9s %8s %8s %8s %9s\n",
+		"epoch", "reads", "writes", "serveNTC", "modelNTC", "saved%", "meanRead", "p95Read", "migrate", "changed", "failures")
+	for _, e := range res.Epochs {
+		fmt.Fprintf(stdout, "%5d %9d %8d %12d %12d %7.2f %9.1f %8d %8d %8d %9d\n",
+			e.Epoch, e.Reads, e.Writes, e.ServeNTC, e.ModelNTC, e.Savings,
+			e.MeanReadCost, e.ReadCostP95, e.Migrations, e.Changed, e.FailedReads+e.FailedWrites)
+	}
+	fmt.Fprintf(stdout, "\ntotal NTC (serve+migrate): %d\n", res.TotalNTC())
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestClusterRunsAllPolicies(t *testing.T) {
+	for _, policy := range []string{"none", "sra", "agra", "agra+mini"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-sites", "8", "-objects", "12", "-epochs", "2",
+			"-policy", policy, "-drift", "0.2",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !strings.Contains(out.String(), "total NTC") {
+			t.Fatalf("%s output missing total:\n%s", policy, out.String())
+		}
+	}
+}
+
+func TestClusterFailureInjection(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-sites", "6", "-objects", "8", "-epochs", "2", "-policy", "none",
+		"-drift", "0", "-fail-site", "0", "-fail-from", "1", "-fail-to", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "failures") {
+		t.Fatal("missing failures column")
+	}
+}
+
+func TestClusterUnknownPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "chaos"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestClusterBadWorkload(t *testing.T) {
+	if err := run([]string{"-sites", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+}
+
+func TestClusterCompareMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sites", "6", "-objects", "10", "-epochs", "2", "-drift", "0.2", "-compare"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{"none", "sra", "agra", "agra+mini", "gra"} {
+		if !strings.Contains(out.String(), policy) {
+			t.Fatalf("comparison missing policy %s:\n%s", policy, out.String())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command drpgen generates random Data Replication Problem instances
+// following the paper's Section 6.1 workload model and writes them as JSON.
+//
+// Usage:
+//
+//	drpgen -sites 50 -objects 200 -update 0.05 -capacity 0.15 -seed 1 -o problem.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"drp"
+	"drp/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "drpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("drpgen", flag.ContinueOnError)
+	var (
+		sites    = fs.Int("sites", 50, "number of sites (M)")
+		objects  = fs.Int("objects", 200, "number of objects (N)")
+		update   = fs.Float64("update", 0.05, "update ratio U (updates as a fraction of reads)")
+		capacity = fs.Float64("capacity", 0.15, "capacity ratio C (site storage as a fraction of total object size)")
+		seed     = fs.Uint64("seed", 1, "workload seed (identical seeds reproduce instances)")
+		zipf     = fs.Float64("zipf", 0, "Zipf popularity skew (0 = the paper's uniform reads)")
+		out      = fs.String("o", "", "output file (default: stdout)")
+		traceOut = fs.String("trace", "", "also write a timestamped request trace (JSON lines) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		p   *drp.Problem
+		err error
+	)
+	if *zipf > 0 {
+		p, err = drp.GenerateZipf(drp.NewZipfSpec(*sites, *objects, *update, *capacity, *zipf), *seed)
+	} else {
+		p, err = drp.Generate(drp.NewSpec(*sites, *objects, *update, *capacity), *seed)
+	}
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := p.Encode(w); err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		if err := trace.Generate(p, *seed+1).Encode(tf); err != nil {
+			return fmt.Errorf("encode trace: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "drpgen: M=%d N=%d U=%.1f%% C=%.1f%% seed=%d D'=%d\n",
+		*sites, *objects, 100**update, 100**capacity, *seed, p.DPrime())
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drp"
+)
+
+func TestRunWritesValidProblem(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sites", "6", "-objects", "8", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := drp.ReadProblem(&out)
+	if err != nil {
+		t.Fatalf("generated JSON unreadable: %v", err)
+	}
+	if p.Sites() != 6 || p.Objects() != 8 {
+		t.Fatalf("dims %d×%d", p.Sites(), p.Objects())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := run([]string{"-sites", "4", "-objects", "5", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := drp.ReadProblem(f); err != nil {
+		t.Fatalf("file unreadable: %v", err)
+	}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	if err := run([]string{"-sites", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+	if err := run([]string{"-update", "-1"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("negative update ratio accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	problemPath := filepath.Join(dir, "p.json")
+	tracePath := filepath.Join(dir, "t.jsonl")
+	if err := run([]string{"-sites", "4", "-objects", "5", "-o", problemPath, "-trace", tracePath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+}
+
+func TestRunZipfFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sites", "5", "-objects", "20", "-zipf", "0.9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drp.ReadProblem(&out); err != nil {
+		t.Fatalf("zipf-generated JSON unreadable: %v", err)
+	}
+}

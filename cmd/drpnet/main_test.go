@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNetRunSRA(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sites", "5", "-objects", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "model and wire agree exactly") {
+		t.Fatalf("model/wire mismatch:\n%s", out.String())
+	}
+}
+
+func TestNetRunNone(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sites", "4", "-objects", "6", "-algo", "none"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 replicas") {
+		t.Fatalf("none policy placed replicas:\n%s", out.String())
+	}
+}
+
+func TestNetRunGRA(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sites", "5", "-objects", "6", "-algo", "gra", "-pop", "6", "-gens", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "model and wire agree exactly") {
+		t.Fatalf("model/wire mismatch:\n%s", out.String())
+	}
+}
+
+func TestNetRunBadAlgo(t *testing.T) {
+	if err := run([]string{"-algo", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestNetRunMissingInput(t *testing.T) {
+	if err := run([]string{"-in", "/does/not/exist"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command drpsolve solves a Data Replication Problem instance (JSON, as
+// produced by drpgen) with one of the implemented algorithms and reports
+// the resulting scheme's quality.
+//
+// Usage:
+//
+//	drpsolve -algo gra -in problem.json -out scheme.json
+//	drpsolve -algo sra -in problem.json
+//
+// Algorithms: sra, gra, random, readonly, none, optimal (tiny instances).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"drp"
+	"drp/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "drpsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("drpsolve", flag.ContinueOnError)
+	var (
+		algo    = fs.String("algo", "sra", "algorithm: sra | gra | hill | random | readonly | none | optimal")
+		in      = fs.String("in", "", "problem JSON (default: stdin)")
+		out     = fs.String("out", "", "write the scheme as JSON to this file")
+		seed    = fs.Uint64("seed", 1, "algorithm seed (gra, random)")
+		pop     = fs.Int("pop", 50, "GRA population size Np")
+		gens    = fs.Int("gens", 80, "GRA generations Ng")
+		maxBits = fs.Int("maxbits", 24, "optimal: maximum free placement bits")
+		replay  = fs.String("replay", "", "replay a request trace (JSON lines) against the solved scheme")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	p, err := drp.ReadProblem(r)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var scheme *drp.Scheme
+	switch *algo {
+	case "sra":
+		scheme = drp.SRA(p).Scheme
+	case "gra":
+		params := drp.DefaultGRAParams()
+		params.PopSize = *pop
+		params.Generations = *gens
+		params.Seed = *seed
+		res, err := drp.GRA(p, params)
+		if err != nil {
+			return err
+		}
+		scheme = res.Scheme
+	case "random":
+		scheme = drp.RandomPlacement(p, *seed)
+	case "readonly":
+		scheme = drp.ReadOnlyGreedy(p)
+	case "hill":
+		scheme = drp.HillClimb(p, nil, 0)
+	case "none":
+		scheme = drp.NoReplication(p)
+	case "optimal":
+		scheme, err = drp.Optimal(p, *maxBits)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	elapsed := time.Since(start)
+
+	cost := scheme.Cost()
+	fmt.Fprintf(stdout, "algorithm:   %s\n", *algo)
+	fmt.Fprintf(stdout, "sites:       %d\n", p.Sites())
+	fmt.Fprintf(stdout, "objects:     %d\n", p.Objects())
+	fmt.Fprintf(stdout, "D' (no repl): %d\n", p.DPrime())
+	fmt.Fprintf(stdout, "D (solved):  %d\n", cost)
+	fmt.Fprintf(stdout, "NTC savings: %.2f%%\n", p.Savings(cost))
+	fmt.Fprintf(stdout, "replicas:    %d beyond primaries\n", scheme.TotalReplicas())
+	fmt.Fprintf(stdout, "elapsed:     %v\n", elapsed)
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Decode(p, f)
+		if err != nil {
+			return err
+		}
+		st := trace.Replay(scheme, tr)
+		fmt.Fprintf(stdout, "replayed:    %d reads, %d writes -> measured NTC %d\n", st.Reads, st.Writes, st.NTC)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := scheme.Encode(f); err != nil {
+			return fmt.Errorf("encode scheme: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+
+	"drp/internal/trace"
+
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"drp"
+)
+
+func writeProblem(t *testing.T) string {
+	t.Helper()
+	p, err := drp.Generate(drp.NewSpec(6, 8, 0.05, 0.2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := p.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSolveAlgorithms(t *testing.T) {
+	path := writeProblem(t)
+	for _, algo := range []string{"sra", "random", "readonly", "none"} {
+		var out bytes.Buffer
+		if err := run([]string{"-algo", algo, "-in", path}, &out); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "NTC savings") {
+			t.Fatalf("%s output missing savings:\n%s", algo, out.String())
+		}
+	}
+}
+
+func TestSolveGRAWithSchemeOutput(t *testing.T) {
+	path := writeProblem(t)
+	schemePath := filepath.Join(t.TempDir(), "scheme.json")
+	var out bytes.Buffer
+	err := run([]string{"-algo", "gra", "-pop", "8", "-gens", "5", "-in", path, "-out", schemePath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scheme must load back against the problem.
+	pf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	p, err := drp.ReadProblem(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Open(schemePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	if _, err := drp.ReadScheme(p, sf); err != nil {
+		t.Fatalf("scheme output unreadable: %v", err)
+	}
+}
+
+func TestSolveOptimalGate(t *testing.T) {
+	path := writeProblem(t)
+	// 6 sites × 8 objects = 40 free bits: must be refused at maxbits 24.
+	if err := run([]string{"-algo", "optimal", "-in", path}, &bytes.Buffer{}); err == nil {
+		t.Fatal("optimal accepted an oversized instance")
+	}
+}
+
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	path := writeProblem(t)
+	if err := run([]string{"-algo", "magic", "-in", path}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSolveMissingInput(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent/p.json"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestSolveHillClimb(t *testing.T) {
+	path := writeProblem(t)
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "hill", "-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "NTC savings") {
+		t.Fatalf("hill output missing savings:\n%s", out.String())
+	}
+}
+
+func TestSolveReplaysTrace(t *testing.T) {
+	dir := t.TempDir()
+	problemPath := filepath.Join(dir, "p.json")
+	tracePath := filepath.Join(dir, "t.jsonl")
+	// Generate problem + trace with drpgen's package-level logic: reuse the
+	// drp API directly to avoid cross-command coupling.
+	p, err := drp.Generate(drp.NewSpec(5, 6, 0.1, 0.2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := os.Create(problemPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Encode(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Generate(p, 4).Encode(tf); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "sra", "-in", problemPath, "-replay", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replayed:") {
+		t.Fatalf("replay output missing:\n%s", out.String())
+	}
+	// The replayed NTC must equal the solved scheme's model cost.
+	scheme := drp.SRA(p).Scheme
+	want := fmt.Sprintf("measured NTC %d", scheme.Cost())
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("replay NTC does not match model (%s):\n%s", want, out.String())
+	}
+}

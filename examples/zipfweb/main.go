@@ -1,0 +1,82 @@
+// Web workload with Zipf-skewed popularity, served by the simulated
+// cluster.
+//
+// The paper's generator draws reads uniformly; measured web traffic is
+// heavily skewed — a few hot objects dominate. This example generates a
+// Zipf workload (the library's extension), optimises placement, and then
+// *runs* the system in the discrete-event cluster simulator under pattern
+// drift, comparing a frozen scheme against the adaptive AGRA monitor on
+// the same traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drp"
+)
+
+func main() {
+	// 25 edge sites, 150 objects, hot-tailed: skew 0.9.
+	p, err := drp.GenerateZipf(drp.NewZipfSpec(25, 150, 0.05, 0.15, 0.9), 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How skewed is it? Share of reads going to the hottest 10% of objects.
+	type hot struct {
+		k     int
+		reads int64
+	}
+	var all int64
+	top := make([]hot, 0, p.Objects())
+	for k := 0; k < p.Objects(); k++ {
+		top = append(top, hot{k, p.TotalReads(k)})
+		all += p.TotalReads(k)
+	}
+	for i := 0; i < len(top); i++ { // selection of the 15 hottest
+		for j := i + 1; j < len(top); j++ {
+			if top[j].reads > top[i].reads {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	var hotReads int64
+	for _, h := range top[:15] {
+		hotReads += h.reads
+	}
+	fmt.Printf("Zipf web workload: top 10%% of objects receive %.0f%% of reads\n\n",
+		100*float64(hotReads)/float64(all))
+
+	initial := drp.SRA(p).Scheme
+	fmt.Printf("initial SRA placement saves %.1f%% of transfer cost\n\n", initial.Savings())
+
+	// Simulate six epochs with 15% of objects shifting pattern each epoch.
+	graParams := drp.DefaultGRAParams()
+	graParams.PopSize = 16
+	graParams.Generations = 12
+	base := drp.ClusterConfig{
+		Epochs:     6,
+		Threshold:  2.0,
+		Drift:      &drp.ChangeSpec{Ch: 5, ObjectShare: 0.15, ReadShare: 0.6},
+		GRAParams:  graParams,
+		AGRAParams: drp.DefaultAGRAParams(),
+		Seed:       21,
+	}
+
+	for _, policy := range []drp.ClusterPolicy{drp.PolicyNone, drp.PolicyAGRAMini} {
+		cfg := base
+		cfg.Policy = policy
+		res, err := drp.ClusterRun(p, initial, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("policy %-10s", policy)
+		for _, e := range res.Epochs {
+			fmt.Printf("  %5.1f%%", e.Savings)
+		}
+		fmt.Printf("   (total NTC %d)\n", res.TotalNTC())
+	}
+	fmt.Println("\ncolumns are per-epoch % savings; the frozen scheme cannot exploit")
+	fmt.Println("the new read hotspots, while the adaptive monitor compounds its lead.")
+}

@@ -1,0 +1,3 @@
+module drp
+
+go 1.22

@@ -1,0 +1,307 @@
+package agra
+
+import (
+	"fmt"
+	"time"
+
+	"drp/internal/bitset"
+	"drp/internal/core"
+	"drp/internal/gra"
+	"drp/internal/xrand"
+)
+
+// Input bundles everything the adaptive pipeline needs for one
+// re-optimisation event.
+type Input struct {
+	// Problem carries the NEW read/write patterns (same sites, objects,
+	// sizes, capacities, primaries as when Current was computed).
+	Problem *core.Problem
+	// Current is the replication scheme the network is running right now.
+	Current *core.Scheme
+	// GRAPopulation is the final population of the last static GRA run, if
+	// one is retained; it seeds both the micro-GAs and the transcription
+	// targets. May be nil.
+	GRAPopulation []*bitset.Set
+	// Changed lists the objects whose pattern shifted beyond the threshold.
+	Changed []int
+}
+
+// Result is the outcome of an adaptation.
+type Result struct {
+	// Scheme is the adapted replication scheme, and Cost/Savings its NTC
+	// under the new patterns.
+	Scheme  *core.Scheme
+	Cost    int64
+	Savings float64
+	// Objects holds the per-object micro-GA results.
+	Objects []ObjectResult
+	// Population is the transcribed (and possibly mini-GRA-evolved)
+	// population, retained for the next adaptation round.
+	Population []*bitset.Set
+	// MicroElapsed and MiniElapsed split the runtime between the per-object
+	// micro-GAs and the transcription/mini-GRA stage.
+	MicroElapsed time.Duration
+	MiniElapsed  time.Duration
+	Elapsed      time.Duration
+}
+
+// Adapt runs the full AGRA pipeline: one micro-GA per changed object, then
+// transcription of the resulting per-object schemes into a GRA population
+// with E-estimator capacity repair, then — if miniGenerations > 0 — a
+// mini-GRA polish. miniParams configures the mini-GRA (population size also
+// sets the transcription population size); the paper uses the static GRA
+// parameters with 5–10 generations.
+func Adapt(in Input, params Params, miniParams gra.Params, miniGenerations int) (*Result, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if in.Problem == nil || in.Current == nil {
+		return nil, fmt.Errorf("agra: nil problem or current scheme")
+	}
+	if miniParams.PopSize < 2 {
+		return nil, fmt.Errorf("agra: mini-GRA population size %d < 2", miniParams.PopSize)
+	}
+	start := time.Now()
+	rng := xrand.New(params.Seed)
+	p := in.Problem
+
+	repair := params.RepairStrategy
+	if repair == 0 {
+		repair = RepairEstimator
+	}
+
+	res := &Result{}
+	microStart := time.Now()
+	objResults := make([]*ObjectResult, 0, len(in.Changed))
+	for _, k := range in.Changed {
+		or, err := RunObject(p, k, in.Current.Replicators(k), in.GRAPopulation, params, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		objResults = append(objResults, or)
+		res.Objects = append(res.Objects, *or)
+	}
+	res.MicroElapsed = time.Since(microStart)
+
+	miniStart := time.Now()
+	pop := transcribe(p, in, objResults, miniParams.PopSize, repair, rng)
+
+	if miniGenerations > 0 {
+		mp := miniParams
+		mp.Generations = miniGenerations
+		mp.Seed = rng.Uint64()
+		graRes, err := gra.RunWithPopulation(p, mp, pop)
+		if err != nil {
+			return nil, fmt.Errorf("agra: mini-GRA: %w", err)
+		}
+		res.Scheme = graRes.Scheme
+		res.Cost = graRes.Cost
+		res.Population = graRes.Population
+	} else {
+		// Option (a): realise the best transcribed chromosome directly.
+		best, bestCost := pickBest(p, pop)
+		scheme, err := core.SchemeFromBits(p, best)
+		if err != nil {
+			return nil, fmt.Errorf("agra: transcribed chromosome invalid: %w", err)
+		}
+		res.Scheme = scheme
+		res.Cost = bestCost
+		res.Population = pop
+	}
+	res.MiniElapsed = time.Since(miniStart)
+	res.Savings = p.Savings(res.Cost)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// transcribe builds the popSize-chromosome GRA population: the base is the
+// stored GRA population (or perturbations of the current scheme), with
+// chromosome 0 always the current network distribution (the elite). For
+// every adapted object, the best R_k overwrites the object's column in the
+// first half (including the elite) while random members of the micro-GA's
+// final population overwrite the second half. Capacity violations are
+// repaired by deallocating the lowest-E replicas at the violating site.
+func transcribe(p *core.Problem, in Input, objs []*ObjectResult, popSize int, repair Repair, rng *xrand.Source) []*bitset.Set {
+	pop := make([]*chromosome, 0, popSize)
+	pop = append(pop, newChromosome(p, in.Current.Bits()))
+	for c := 1; c < popSize; c++ {
+		var bits *bitset.Set
+		if c-1 < len(in.GRAPopulation) && in.GRAPopulation[c-1].Len() == p.Sites()*p.Objects() {
+			bits = in.GRAPopulation[c-1].Clone()
+		} else {
+			s := in.Current.Clone()
+			gra.Perturb(s, 0.25, rng)
+			bits = s.Bits()
+		}
+		pop = append(pop, newChromosome(p, bits))
+	}
+
+	half := popSize / 2
+	if half < 1 {
+		half = 1
+	}
+	for _, or := range objs {
+		for c, ch := range pop {
+			var repl []int
+			if c < half {
+				repl = or.Best
+			} else if len(or.Population) > 0 {
+				repl = sites(or.Population[rng.Intn(len(or.Population))])
+			} else {
+				repl = or.Best
+			}
+			ch.setColumn(or.Object, repl)
+			ch.repair(repair, rng)
+		}
+	}
+
+	out := make([]*bitset.Set, len(pop))
+	for i, ch := range pop {
+		out[i] = ch.bits
+	}
+	return out
+}
+
+func pickBest(p *core.Problem, pop []*bitset.Set) (*bitset.Set, int64) {
+	ev := core.NewEvaluator(p)
+	var best *bitset.Set
+	var bestCost int64
+	for _, bits := range pop {
+		cost := ev.Cost(bits)
+		if best == nil || cost < bestCost {
+			best = bits
+			bestCost = cost
+		}
+	}
+	return best, bestCost
+}
+
+// chromosome tracks a full M×N placement with per-site usage and per-object
+// replica degree, so transcription and E-repair stay cheap.
+type chromosome struct {
+	p      *core.Problem
+	bits   *bitset.Set
+	usage  []int64
+	degree []int
+}
+
+func newChromosome(p *core.Problem, bits *bitset.Set) *chromosome {
+	ch := &chromosome{
+		p:      p,
+		bits:   bits,
+		usage:  make([]int64, p.Sites()),
+		degree: make([]int, p.Objects()),
+	}
+	n := p.Objects()
+	for pos := bits.NextSet(0); pos >= 0; pos = bits.NextSet(pos + 1) {
+		ch.usage[pos/n] += p.Size(pos % n)
+		ch.degree[pos%n]++
+	}
+	return ch
+}
+
+// setColumn rewrites object k's replicator set, keeping the primary bit.
+func (ch *chromosome) setColumn(k int, repl []int) {
+	p := ch.p
+	n := p.Objects()
+	want := make(map[int]bool, len(repl)+1)
+	want[p.Primary(k)] = true
+	for _, i := range repl {
+		want[i] = true
+	}
+	for i := 0; i < p.Sites(); i++ {
+		pos := i*n + k
+		has := ch.bits.Test(pos)
+		switch {
+		case want[i] && !has:
+			ch.bits.Set(pos)
+			ch.usage[i] += p.Size(k)
+			ch.degree[k]++
+		case !want[i] && has:
+			ch.bits.Clear(pos)
+			ch.usage[i] -= p.Size(k)
+			ch.degree[k]--
+		}
+	}
+}
+
+// repair deallocates replicas at over-capacity sites using the selected
+// strategy. Primaries are never touched. rng breaks exact ties and drives
+// random eviction.
+func (ch *chromosome) repair(strategy Repair, rng *xrand.Source) {
+	p := ch.p
+	for i := 0; i < p.Sites(); i++ {
+		for ch.usage[i] > p.Capacity(i) {
+			victim := ch.pickVictim(i, strategy, rng)
+			if victim < 0 {
+				// Only primaries remain; problem construction guarantees
+				// they fit, so this indicates an infeasible instance. Leave
+				// as-is; the caller's SchemeFromBits will reject it loudly.
+				return
+			}
+			ch.bits.Clear(i*p.Objects() + victim)
+			ch.usage[i] -= p.Size(victim)
+			ch.degree[victim]--
+		}
+	}
+}
+
+// pickVictim selects the replica to evict from site i, or -1 if only
+// primaries remain.
+func (ch *chromosome) pickVictim(i int, strategy Repair, rng *xrand.Source) int {
+	p := ch.p
+	n := p.Objects()
+	victim := -1
+	var victimScore float64
+	count := 0
+	for pos := ch.bits.NextSet(i * n); pos >= 0 && pos < (i+1)*n; pos = ch.bits.NextSet(pos + 1) {
+		k := pos - i*n
+		if p.Primary(k) == i {
+			continue
+		}
+		count++
+		var score float64
+		switch strategy {
+		case RepairRandom:
+			// Reservoir sampling over the eligible replicas.
+			if rng.Intn(count) == 0 {
+				victim = k
+			}
+			continue
+		case RepairExact:
+			// Degradation of the object-local NTC if the replica goes:
+			// smaller is better to evict.
+			score = float64(ch.removalDegradation(i, k))
+		default: // RepairEstimator
+			// Lower replica benefit estimate → evict first.
+			score = p.Estimate(i, k, ch.degree[k])
+		}
+		if victim < 0 || score < victimScore || (score == victimScore && rng.Bool(0.5)) {
+			victim = k
+			victimScore = score
+		}
+	}
+	return victim
+}
+
+// removalDegradation computes V_k(without replica at i) − V_k(with), the
+// exact NTC impact of evicting object k's replica from site i. Only object
+// k's cost changes, so this is O(M·|R_k|), far below the paper's quoted
+// O(M²N) full-D recomputation but still the most expensive of the repair
+// strategies.
+func (ch *chromosome) removalDegradation(i, k int) int64 {
+	p := ch.p
+	n := p.Objects()
+	ev := core.NewEvaluator(p)
+	with := make([]int32, 0, ch.degree[k])
+	without := make([]int32, 0, ch.degree[k]-1)
+	for site := 0; site < p.Sites(); site++ {
+		if ch.bits.Test(site*n + k) {
+			with = append(with, int32(site))
+			if site != i {
+				without = append(without, int32(site))
+			}
+		}
+	}
+	return ev.ObjectCost(k, without) - ev.ObjectCost(k, with)
+}

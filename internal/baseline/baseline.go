@@ -1,0 +1,115 @@
+// Package baseline provides comparison algorithms for the DRP: the trivial
+// no-replication scheme, random valid placement, a read-only greedy that
+// ignores the update penalty, and an exhaustive optimal solver for tiny
+// instances. The heuristic papers' claims ("GRA beats SRA", "SRA is near
+// optimal for read-heavy workloads") are tested against these.
+package baseline
+
+import (
+	"fmt"
+
+	"drp/internal/core"
+	"drp/internal/xrand"
+)
+
+// NoReplication returns the primaries-only scheme, the paper's normaliser.
+func NoReplication(p *core.Problem) *core.Scheme {
+	return core.NewScheme(p)
+}
+
+// Random fills sites with uniformly random replicas until attempts
+// consecutive placements fail, yielding a valid but undirected scheme.
+func Random(p *core.Problem, seed uint64) *core.Scheme {
+	rng := xrand.New(seed)
+	s := core.NewScheme(p)
+	failures := 0
+	limit := 4 * p.Sites() * p.Objects()
+	for failures < limit {
+		i, k := rng.Intn(p.Sites()), rng.Intn(p.Objects())
+		if err := s.Add(i, k); err != nil {
+			failures++
+			continue
+		}
+		failures = 0
+	}
+	return s
+}
+
+// ReadOnlyGreedy replicates greedily by pure read benefit, ignoring the
+// update fan-in entirely — the classic mirror-placement strategy that the
+// paper's cost model exists to correct. With writes present it
+// over-replicates hot-write objects; comparing it against SRA isolates the
+// value of eq. 5's write term.
+func ReadOnlyGreedy(p *core.Problem) *core.Scheme {
+	s := core.NewScheme(p)
+	nearest := core.NewNearestTable(s)
+	m, n := p.Sites(), p.Objects()
+	for {
+		placed := false
+		for i := 0; i < m; i++ {
+			bestK := -1
+			var bestGain float64
+			for k := 0; k < n; k++ {
+				if s.Has(i, k) || p.Size(k) > s.Free(i) {
+					continue
+				}
+				gain := float64(p.Reads(i, k) * nearest.Dist(i, k)) // per-unit-size read saving × o_k/o_k
+				if gain > bestGain {
+					bestGain = gain
+					bestK = k
+				}
+			}
+			if bestK >= 0 && bestGain > 0 {
+				if err := s.Add(i, bestK); err != nil {
+					panic("baseline: read-only greedy placement rejected: " + err.Error())
+				}
+				nearest.Add(i, bestK)
+				placed = true
+			}
+		}
+		if !placed {
+			return s
+		}
+	}
+}
+
+// Optimal exhaustively searches every valid placement and returns a
+// minimum-cost scheme. The search space is 2^(M·N−N) (primary bits are
+// fixed), so it is gated to instances with at most maxFreeBits free bits;
+// it exists to measure heuristic optimality gaps in tests.
+func Optimal(p *core.Problem, maxFreeBits int) (*core.Scheme, error) {
+	free := make([][2]int, 0) // (site, object) pairs that may toggle
+	for i := 0; i < p.Sites(); i++ {
+		for k := 0; k < p.Objects(); k++ {
+			if p.Primary(k) != i {
+				free = append(free, [2]int{i, k})
+			}
+		}
+	}
+	if len(free) > maxFreeBits {
+		return nil, fmt.Errorf("baseline: %d free bits exceeds limit %d", len(free), maxFreeBits)
+	}
+	best := core.NewScheme(p)
+	bestCost := best.Cost()
+	cur := core.NewScheme(p)
+	var recurse func(idx int)
+	recurse = func(idx int) {
+		if idx == len(free) {
+			if cost := cur.Cost(); cost < bestCost {
+				bestCost = cost
+				best = cur.Clone()
+			}
+			return
+		}
+		recurse(idx + 1) // bit off
+		i, k := free[idx][0], free[idx][1]
+		if err := cur.Add(i, k); err == nil {
+			recurse(idx + 1) // bit on
+			if err := cur.Remove(i, k); err != nil {
+				panic("baseline: optimal backtrack failed: " + err.Error())
+			}
+		}
+	}
+	recurse(0)
+	return best, nil
+}

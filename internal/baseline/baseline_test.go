@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"testing"
+
+	"drp/internal/core"
+	"drp/internal/sra"
+	"drp/internal/workload"
+)
+
+func gen(t testing.TB, m, n int, u, c float64, seed uint64) *core.Problem {
+	t.Helper()
+	p, err := workload.Generate(workload.NewSpec(m, n, u, c), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNoReplication(t *testing.T) {
+	p := gen(t, 8, 10, 0.05, 0.15, 1)
+	s := NoReplication(p)
+	if s.TotalReplicas() != 0 {
+		t.Fatalf("no-replication placed %d replicas", s.TotalReplicas())
+	}
+	if s.Cost() != p.DPrime() {
+		t.Fatal("no-replication cost != D'")
+	}
+}
+
+func TestRandomIsValid(t *testing.T) {
+	p := gen(t, 10, 15, 0.05, 0.15, 2)
+	for seed := uint64(0); seed < 5; seed++ {
+		s := Random(p, seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid random scheme: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomFillsStorage(t *testing.T) {
+	p := gen(t, 10, 15, 0.05, 0.15, 3)
+	s := Random(p, 1)
+	if s.TotalReplicas() == 0 {
+		t.Fatal("random placement placed nothing")
+	}
+}
+
+func TestReadOnlyGreedyValid(t *testing.T) {
+	p := gen(t, 12, 15, 0.10, 0.15, 4)
+	s := ReadOnlyGreedy(p)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid scheme: %v", err)
+	}
+}
+
+func TestReadOnlyGreedyMatchesSRAWithoutWrites(t *testing.T) {
+	// With zero writes the benefit value reduces to pure read savings, so
+	// write-blind greed loses nothing: costs should be close.
+	p := gen(t, 10, 12, 0.0, 0.20, 5)
+	ro := ReadOnlyGreedy(p).Cost()
+	sr := sra.Run(p, sra.Options{}).Scheme.Cost()
+	// The two greedies rank candidates differently (raw gain vs gain per
+	// storage unit), so allow a modest spread.
+	ratio := float64(ro) / float64(sr)
+	if ratio > 1.1 || ratio < 0.9 {
+		t.Fatalf("read-only %d vs SRA %d (ratio %v); expected near parity with no writes", ro, sr, ratio)
+	}
+}
+
+func TestReadOnlyGreedyWorseUnderWrites(t *testing.T) {
+	// Under heavy writes, ignoring the update fan-in must hurt: SRA should
+	// be at least as good.
+	p := gen(t, 12, 15, 0.5, 0.25, 6)
+	ro := ReadOnlyGreedy(p).Cost()
+	sr := sra.Run(p, sra.Options{}).Scheme.Cost()
+	if sr > ro {
+		t.Fatalf("SRA %d worse than write-blind greedy %d under heavy writes", sr, ro)
+	}
+}
+
+func TestOptimalTinyInstance(t *testing.T) {
+	p := gen(t, 3, 3, 0.05, 0.5, 7)
+	opt, err := Optimal(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal must beat or match every other algorithm.
+	for name, s := range map[string]*core.Scheme{
+		"no-replication": NoReplication(p),
+		"random":         Random(p, 1),
+		"read-only":      ReadOnlyGreedy(p),
+		"sra":            sra.Run(p, sra.Options{}).Scheme,
+	} {
+		if opt.Cost() > s.Cost() {
+			t.Errorf("optimal %d worse than %s %d", opt.Cost(), name, s.Cost())
+		}
+	}
+}
+
+func TestOptimalRefusesLargeInstances(t *testing.T) {
+	p := gen(t, 10, 10, 0.05, 0.15, 8)
+	if _, err := Optimal(p, 16); err == nil {
+		t.Fatal("optimal accepted a 90-free-bit instance")
+	}
+}

@@ -1,0 +1,66 @@
+package baseline
+
+import (
+	"testing"
+
+	"drp/internal/sra"
+)
+
+func TestHillClimbImprovesOrMatchesStart(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		p := gen(t, 10, 14, 0.05, 0.15, seed)
+		start := NoReplication(p)
+		res := HillClimb(p, nil, 0)
+		if err := res.Scheme.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid scheme: %v", seed, err)
+		}
+		if res.Scheme.Cost() > start.Cost() {
+			t.Fatalf("seed %d: hill climb worsened the start", seed)
+		}
+	}
+}
+
+func TestHillClimbReachesLocalOptimum(t *testing.T) {
+	p := gen(t, 8, 10, 0.05, 0.2, 11)
+	res := HillClimb(p, nil, 0)
+	// At a local optimum no single add/remove improves: re-running from
+	// the result must accept zero moves.
+	again := HillClimb(p, res.Scheme, 0)
+	if again.Moves != 0 {
+		t.Fatalf("re-run from local optimum accepted %d moves", again.Moves)
+	}
+}
+
+func TestHillClimbAtLeastAsGoodAsSRA(t *testing.T) {
+	// Seeded with SRA's scheme, hill climbing can only improve on it; it
+	// also repairs greedy misplacements by removing replicas.
+	for seed := uint64(1); seed <= 3; seed++ {
+		p := gen(t, 10, 12, 0.10, 0.15, seed)
+		sraScheme := sra.Run(p, sra.Options{}).Scheme
+		res := HillClimb(p, sraScheme, 0)
+		if res.Scheme.Cost() > sraScheme.Cost() {
+			t.Fatalf("seed %d: hill climb from SRA got worse", seed)
+		}
+	}
+}
+
+func TestHillClimbMoveBudget(t *testing.T) {
+	p := gen(t, 10, 14, 0.02, 0.2, 13)
+	res := HillClimb(p, nil, 3)
+	if res.Moves > 3 {
+		t.Fatalf("accepted %d moves with budget 3", res.Moves)
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestHillClimbDoesNotMutateStart(t *testing.T) {
+	p := gen(t, 8, 10, 0.02, 0.2, 15)
+	start := NoReplication(p)
+	before := start.Cost()
+	_ = HillClimb(p, start, 0)
+	if start.Cost() != before || start.TotalReplicas() != 0 {
+		t.Fatal("hill climb mutated its start scheme")
+	}
+}

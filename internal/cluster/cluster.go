@@ -1,0 +1,171 @@
+// Package cluster simulates the distributed system the replication
+// algorithms serve: sites issuing reads against their nearest replica and
+// writes through primary copies, a monitor site collecting per-object
+// statistics each epoch and re-optimising the replication scheme, object
+// migration with its own transfer costs, and site-failure injection.
+//
+// The simulator is a discrete-event system driven by drp/internal/simevent.
+// Its transfer-cost accounting follows the paper's policy mechanically —
+// each read is served from the nearest replica, each write ships to the
+// primary which broadcasts to the other replicas — so with the full traffic
+// of a measurement period and a static scheme, the measured NTC equals the
+// analytic D of eq. 4 exactly. That equivalence is tested, closing the loop
+// between the cost model the optimisers minimise and the system behaviour
+// a deployment would observe.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"drp/internal/agra"
+	"drp/internal/core"
+	"drp/internal/gra"
+	"drp/internal/workload"
+)
+
+// Policy selects how the monitor reacts at epoch boundaries.
+type Policy int
+
+// Monitor policies.
+const (
+	// PolicyNone never adapts: the initial scheme serves every epoch.
+	PolicyNone Policy = iota + 1
+	// PolicySRA recomputes the scheme from scratch with the greedy.
+	PolicySRA
+	// PolicyAGRA adapts only changed objects (micro-GAs + transcription).
+	PolicyAGRA
+	// PolicyAGRAMini is PolicyAGRA followed by 5 mini-GRA generations.
+	PolicyAGRAMini
+	// PolicyGRA re-runs the full genetic algorithm every epoch.
+	PolicyGRA
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicySRA:
+		return "sra"
+	case PolicyAGRA:
+		return "agra"
+	case PolicyAGRAMini:
+		return "agra+mini"
+	case PolicyGRA:
+		return "gra"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Failure takes a site offline for a span of epochs [From, To).
+type Failure struct {
+	Site     int
+	From, To int
+}
+
+// Config drives a cluster simulation.
+type Config struct {
+	// Epochs is the number of measurement periods to simulate.
+	Epochs int
+	// Policy selects the monitor's adaptation strategy.
+	Policy Policy
+	// Drift, if non-nil, perturbs the read/write patterns at the start of
+	// every epoch after the first (Section 6.3 style).
+	Drift *workload.ChangeSpec
+	// Threshold is the pattern-change detection factor: an object is
+	// reported to the adaptive monitor when its observed read or write
+	// total grew or shrank by at least this factor since the scheme was
+	// last tuned for it (e.g. 2.0). Only used by the AGRA policies.
+	Threshold float64
+	// Failures lists injected site outages.
+	Failures []Failure
+	// GRA and AGRA budgets for the adapting policies.
+	GRAParams  gra.Params
+	AGRAParams agra.Params
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+func (cfg Config) validate(p *core.Problem) error {
+	switch {
+	case cfg.Epochs < 1:
+		return fmt.Errorf("cluster: need at least one epoch, got %d", cfg.Epochs)
+	case cfg.Policy < PolicyNone || cfg.Policy > PolicyGRA:
+		return fmt.Errorf("cluster: unknown policy %d", int(cfg.Policy))
+	case cfg.Threshold < 0:
+		return fmt.Errorf("cluster: negative threshold %v", cfg.Threshold)
+	}
+	for _, f := range cfg.Failures {
+		if f.Site < 0 || f.Site >= p.Sites() {
+			return fmt.Errorf("cluster: failure site %d out of range", f.Site)
+		}
+		if f.From < 0 || f.To < f.From {
+			return fmt.Errorf("cluster: bad failure window [%d,%d)", f.From, f.To)
+		}
+	}
+	return nil
+}
+
+// EpochStats reports one epoch of simulated traffic.
+type EpochStats struct {
+	Epoch int
+
+	// Reads/Writes are the numbers of requests served.
+	Reads, Writes int64
+	// FailedReads/FailedWrites could not be served because every replica
+	// (or the primary) was offline.
+	FailedReads, FailedWrites int64
+
+	// ServeNTC is the measured transfer cost of serving requests; ModelNTC
+	// is eq. 4's prediction for the same patterns and scheme (they are
+	// equal when no site failed during the epoch).
+	ServeNTC int64
+	ModelNTC int64
+	// MigrationNTC is the cost of shipping objects for scheme changes
+	// applied at the start of the epoch, and Migrations the replica count
+	// that moved.
+	MigrationNTC int64
+	Migrations   int
+
+	// MeanReadCost is the average per-read transfer cost, the paper's
+	// proxy for response time; ReadCostP50/P95/Max are distribution
+	// percentiles of the same quantity.
+	MeanReadCost float64
+	ReadCostP50  int64
+	ReadCostP95  int64
+	ReadCostMax  int64
+	// Savings is the % NTC saved versus serving the epoch's patterns with
+	// primaries only (migration cost included).
+	Savings float64
+
+	// Changed is the number of objects the monitor flagged as shifted;
+	// AdaptTime is how long the monitor's re-optimisation took.
+	Changed   int
+	AdaptTime time.Duration
+}
+
+// Result is a full simulation run.
+type Result struct {
+	Epochs []EpochStats
+	// FinalScheme is the scheme in force after the last epoch.
+	FinalScheme *core.Scheme
+}
+
+// TotalServeNTC sums the serving cost over all epochs.
+func (r *Result) TotalServeNTC() int64 {
+	var total int64
+	for _, e := range r.Epochs {
+		total += e.ServeNTC
+	}
+	return total
+}
+
+// TotalNTC sums serving and migration cost over all epochs.
+func (r *Result) TotalNTC() int64 {
+	total := r.TotalServeNTC()
+	for _, e := range r.Epochs {
+		total += e.MigrationNTC
+	}
+	return total
+}

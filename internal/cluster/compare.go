@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"drp/internal/core"
+)
+
+// PolicyReport is one policy's aggregate outcome over a comparison run.
+type PolicyReport struct {
+	Policy Policy
+	// TotalServeNTC and TotalNTC aggregate serving and serving+migration
+	// transfer costs over all epochs.
+	TotalServeNTC int64
+	TotalNTC      int64
+	// MeanSavings averages the per-epoch savings.
+	MeanSavings float64
+	// LastSavings is the final epoch's savings, the steady-state signal.
+	LastSavings float64
+	// AdaptTime totals the monitor's optimisation time across epochs.
+	AdaptTime time.Duration
+	// FailedRequests totals reads+writes that could not be served.
+	FailedRequests int64
+}
+
+// Comparison is the outcome of running several policies over identical
+// traffic and drift.
+type Comparison struct {
+	Epochs  int
+	Reports []PolicyReport
+}
+
+// Compare runs every given policy on the same problem, initial scheme,
+// drift and failure schedule (identical seeds ⇒ identical traffic), and
+// aggregates per-policy results. The cfg's Policy field is overridden.
+func Compare(p *core.Problem, initial *core.Scheme, cfg Config, policies []Policy) (*Comparison, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("cluster: no policies to compare")
+	}
+	cmp := &Comparison{Epochs: cfg.Epochs}
+	for _, policy := range policies {
+		runCfg := cfg
+		runCfg.Policy = policy
+		var start *core.Scheme
+		if initial != nil {
+			start = initial.Clone()
+		}
+		res, err := Run(p, start, runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: policy %s: %w", policy, err)
+		}
+		report := PolicyReport{
+			Policy:        policy,
+			TotalServeNTC: res.TotalServeNTC(),
+			TotalNTC:      res.TotalNTC(),
+		}
+		var savings float64
+		for _, e := range res.Epochs {
+			savings += e.Savings
+			report.AdaptTime += e.AdaptTime
+			report.FailedRequests += e.FailedReads + e.FailedWrites
+		}
+		if len(res.Epochs) > 0 {
+			report.MeanSavings = savings / float64(len(res.Epochs))
+			report.LastSavings = res.Epochs[len(res.Epochs)-1].Savings
+		}
+		cmp.Reports = append(cmp.Reports, report)
+	}
+	return cmp, nil
+}
+
+// Render writes the comparison as an aligned table.
+func (c *Comparison) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Policy comparison over %d epochs (identical traffic and drift):\n", c.Epochs); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-10s %14s %14s %9s %9s %12s %7s\n",
+		"policy", "serveNTC", "totalNTC", "mean sv%", "last sv%", "adapt time", "failed"); err != nil {
+		return err
+	}
+	for _, r := range c.Reports {
+		if _, err := fmt.Fprintf(w, "  %-10s %14d %14d %9.2f %9.2f %12v %7d\n",
+			r.Policy, r.TotalServeNTC, r.TotalNTC, r.MeanSavings, r.LastSavings,
+			r.AdaptTime.Round(time.Millisecond), r.FailedRequests); err != nil {
+			return err
+		}
+	}
+	return nil
+}

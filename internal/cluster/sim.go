@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"drp/internal/agra"
+	"drp/internal/bitset"
+	"drp/internal/core"
+	"drp/internal/gra"
+	"drp/internal/simevent"
+	"drp/internal/sra"
+	"drp/internal/workload"
+	"drp/internal/xrand"
+)
+
+// epochTicks is the virtual duration of one measurement period.
+const epochTicks = 1_000_000
+
+// Run simulates cfg.Epochs measurement periods of the distributed system
+// starting from the given problem and scheme.
+func Run(p *core.Problem, initial *core.Scheme, cfg Config) (*Result, error) {
+	if err := cfg.validate(p); err != nil {
+		return nil, err
+	}
+	if initial == nil {
+		initial = core.NewScheme(p)
+	}
+	if initial.Problem() != p {
+		// Rebind defensively so Has/Cost agree with the problem we drive.
+		rebound, err := core.SchemeFromBits(p, initial.Bits())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: initial scheme incompatible: %w", err)
+		}
+		initial = rebound
+	}
+
+	sim := &sim{
+		cfg:     cfg,
+		sched:   simevent.New(),
+		rng:     xrand.New(cfg.Seed),
+		problem: p,
+		scheme:  initial.Clone(),
+		down:    make([]bool, p.Sites()),
+	}
+	sim.rebuildNearest()
+	sim.snapshotTunedTotals()
+
+	res := &Result{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		stats, err := sim.runEpoch(epoch)
+		if err != nil {
+			return nil, err
+		}
+		res.Epochs = append(res.Epochs, *stats)
+	}
+	res.FinalScheme = sim.scheme
+	return res, nil
+}
+
+// sim is the mutable simulation state shared by the event handlers.
+type sim struct {
+	cfg     Config
+	sched   *simevent.Scheduler
+	rng     *xrand.Source
+	problem *core.Problem // patterns for the CURRENT epoch
+	scheme  *core.Scheme
+	nearest *core.NearestTable
+	down    []bool
+
+	// tunedReads/tunedWrites are the per-object totals the current scheme
+	// was last optimised against; the monitor's change detector compares
+	// observed totals against them.
+	tunedReads  []int64
+	tunedWrites []int64
+
+	// population is the last GA population, carried across epochs for the
+	// AGRA policies.
+	population []*bitset.Set
+	// readCosts histograms the current epoch's per-read transfer costs.
+	readCosts *costHist
+}
+
+func (s *sim) setPopulation(pop []*bitset.Set) { s.population = pop }
+
+func (s *sim) rawPopulation() []*bitset.Set { return s.population }
+
+func (s *sim) rebuildNearest() {
+	s.nearest = core.NewNearestTable(s.scheme)
+}
+
+func (s *sim) snapshotTunedTotals() {
+	n := s.problem.Objects()
+	s.tunedReads = make([]int64, n)
+	s.tunedWrites = make([]int64, n)
+	for k := 0; k < n; k++ {
+		s.tunedReads[k] = s.problem.TotalReads(k)
+		s.tunedWrites[k] = s.problem.TotalWrites(k)
+	}
+}
+
+// runEpoch drives one measurement period: drift, adaptation, traffic.
+func (s *sim) runEpoch(epoch int) (*EpochStats, error) {
+	stats := &EpochStats{Epoch: epoch}
+
+	// 1. Pattern drift at the start of every epoch after the first.
+	if epoch > 0 && s.cfg.Drift != nil {
+		next, _, err := workload.ApplyChange(s.problem, *s.cfg.Drift, s.cfg.Seed+uint64(epoch)*7919)
+		if err != nil {
+			return nil, err
+		}
+		s.problem = next
+		rebound, err := core.SchemeFromBits(s.problem, s.scheme.Bits())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rebind after drift: %w", err)
+		}
+		s.scheme = rebound
+		s.rebuildNearest()
+	}
+
+	// 2. The monitor adapts (it has just received the previous night's
+	// statistics — in this simulator, the true current patterns).
+	if epoch > 0 || s.cfg.Policy == PolicySRA || s.cfg.Policy == PolicyGRA {
+		if err := s.adapt(epoch, stats); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Failures for this epoch.
+	for i := range s.down {
+		s.down[i] = false
+	}
+	for _, f := range s.cfg.Failures {
+		if epoch >= f.From && epoch < f.To {
+			s.down[f.Site] = true
+		}
+	}
+
+	// 4. Generate and serve the epoch's traffic.
+	s.readCosts = newCostHist()
+	s.scheduleTraffic(stats)
+	s.sched.Run()
+
+	// 5. Bookkeeping: eq. 4 prediction, latency percentiles and savings.
+	stats.ModelNTC = s.scheme.Cost()
+	if stats.Reads > 0 {
+		stats.MeanReadCost /= float64(stats.Reads)
+		stats.ReadCostP50 = s.readCosts.percentile(0.50)
+		stats.ReadCostP95 = s.readCosts.percentile(0.95)
+		stats.ReadCostMax = s.readCosts.max()
+	}
+	dPrime := s.problem.DPrime()
+	if dPrime > 0 {
+		stats.Savings = 100 * float64(dPrime-stats.ServeNTC-stats.MigrationNTC) / float64(dPrime)
+	}
+	return stats, nil
+}
+
+// adapt applies the configured monitor policy, migrating the scheme.
+func (s *sim) adapt(epoch int, stats *EpochStats) error {
+	start := time.Now()
+	old := s.scheme
+	switch s.cfg.Policy {
+	case PolicyNone:
+		return nil
+
+	case PolicySRA:
+		s.scheme = sra.Run(s.problem, sra.Options{}).Scheme
+
+	case PolicyGRA:
+		params := s.cfg.GRAParams
+		params.Seed = s.cfg.Seed + uint64(epoch)*131
+		res, err := gra.Run(s.problem, params)
+		if err != nil {
+			return err
+		}
+		s.scheme = res.Scheme
+		s.setPopulation(res.Population)
+
+	case PolicyAGRA, PolicyAGRAMini:
+		changed := s.detectChanges()
+		stats.Changed = len(changed)
+		if len(changed) == 0 {
+			stats.AdaptTime = time.Since(start)
+			return nil
+		}
+		miniGens := 0
+		if s.cfg.Policy == PolicyAGRAMini {
+			miniGens = 5
+		}
+		params := s.cfg.AGRAParams
+		params.Seed = s.cfg.Seed + uint64(epoch)*257
+		mini := s.cfg.GRAParams
+		mini.Seed = params.Seed + 1
+		res, err := agra.Adapt(agra.Input{
+			Problem:       s.problem,
+			Current:       s.scheme,
+			GRAPopulation: s.rawPopulation(),
+			Changed:       changed,
+		}, params, mini, miniGens)
+		if err != nil {
+			return err
+		}
+		s.scheme = res.Scheme
+		s.setPopulation(res.Population)
+	}
+	stats.AdaptTime = time.Since(start)
+
+	s.migrate(old, s.scheme, stats)
+	s.rebuildNearest()
+	s.snapshotTunedTotals()
+	return nil
+}
+
+// detectChanges returns the objects whose observed totals moved beyond the
+// threshold factor since the scheme was last tuned.
+func (s *sim) detectChanges() []int {
+	if s.cfg.Threshold <= 0 {
+		return nil
+	}
+	var out []int
+	for k := 0; k < s.problem.Objects(); k++ {
+		if exceeds(s.problem.TotalReads(k), s.tunedReads[k], s.cfg.Threshold) ||
+			exceeds(s.problem.TotalWrites(k), s.tunedWrites[k], s.cfg.Threshold) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func exceeds(now, was int64, factor float64) bool {
+	if was == 0 {
+		return now > 0
+	}
+	ratio := float64(now) / float64(was)
+	return ratio >= factor || ratio <= 1/factor
+}
+
+// migrate accounts for the transfer cost of realising the new scheme: each
+// new replica is fetched from the nearest site that held the object under
+// the old scheme. Deallocations are free.
+func (s *sim) migrate(old, next *core.Scheme, stats *EpochStats) {
+	p := s.problem
+	oldNearest := core.NewNearestTable(old)
+	for i := 0; i < p.Sites(); i++ {
+		for k := 0; k < p.Objects(); k++ {
+			if next.Has(i, k) && !old.Has(i, k) {
+				stats.Migrations++
+				stats.MigrationNTC += p.Size(k) * oldNearest.Dist(i, k)
+			}
+		}
+	}
+}
+
+// scheduleTraffic schedules this epoch's read and write arrivals at
+// uniformly random virtual times.
+func (s *sim) scheduleTraffic(stats *EpochStats) {
+	p := s.problem
+	base := s.sched.Now()
+	for i := 0; i < p.Sites(); i++ {
+		for k := 0; k < p.Objects(); k++ {
+			site, obj := i, k
+			for r := int64(0); r < p.Reads(i, k); r++ {
+				s.sched.At(base+int64(s.rng.Intn(epochTicks)), func() { s.serveRead(site, obj, stats) })
+			}
+			for w := int64(0); w < p.Writes(i, k); w++ {
+				s.sched.At(base+int64(s.rng.Intn(epochTicks)), func() { s.serveWrite(site, obj, stats) })
+			}
+		}
+	}
+}
+
+// serveRead routes a read to the nearest live replica.
+func (s *sim) serveRead(site, obj int, stats *EpochStats) {
+	p := s.problem
+	target := s.nearest.Nearest(site, obj)
+	dist := s.nearest.Dist(site, obj)
+	if s.down[target] {
+		target, dist = s.nearestLive(site, obj)
+		if target < 0 {
+			stats.FailedReads++
+			return
+		}
+	}
+	stats.Reads++
+	cost := p.Size(obj) * dist
+	stats.ServeNTC += cost
+	stats.MeanReadCost += float64(cost)
+	s.readCosts.add(cost)
+}
+
+// serveWrite ships the update to the primary, which broadcasts the new
+// version to every other live replicator.
+func (s *sim) serveWrite(site, obj int, stats *EpochStats) {
+	p := s.problem
+	sp := p.Primary(obj)
+	if s.down[sp] {
+		stats.FailedWrites++
+		return
+	}
+	stats.Writes++
+	stats.ServeNTC += p.Size(obj) * p.Cost(site, sp)
+	for _, j := range s.scheme.Replicators(obj) {
+		if j == site || j == sp || s.down[j] {
+			continue
+		}
+		stats.ServeNTC += p.Size(obj) * p.Cost(sp, j)
+	}
+}
+
+// nearestLive scans for the closest replicator that is up.
+func (s *sim) nearestLive(site, obj int) (int, int64) {
+	p := s.problem
+	best, bestD := -1, int64(0)
+	for _, j := range s.scheme.Replicators(obj) {
+		if s.down[j] {
+			continue
+		}
+		if d := p.Cost(site, j); best < 0 || d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best, bestD
+}

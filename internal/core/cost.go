@@ -1,0 +1,176 @@
+package core
+
+import "drp/internal/bitset"
+
+// This file implements the object transfer cost model of Section 2.2.
+//
+// For a replication scheme X, the total network transfer cost (eq. 4) is
+//
+//	D = Σ_i Σ_k (1−X_ik)·[ r_k(i)·o_k·min{C(i,j) : X_jk=1}
+//	                       + w_k(i)·o_k·C(i,SP_k) ]
+//	            + X_ik·Wtot_k·o_k·C(i,SP_k)
+//
+// where Wtot_k = Σ_x w_k(x). Reads go to the nearest replica; writes are
+// shipped to the primary, which broadcasts the updated object to every
+// replica. A replicator i pays the full update fan-in Wtot_k·o_k·C(i,SP_k);
+// the x=i term of that sum doubles as site i's own shipping cost to the
+// primary, which keeps eq. 4 consistent with eqs. 1–2 (the broadcast
+// excludes the writer itself).
+//
+// Because link costs are positive, min_j C(i,j) over the replicators is zero
+// exactly when i is itself a replicator, which lets the evaluator branch on
+// the computed minimum instead of probing the bit matrix per (i,k) pair.
+
+// Evaluator computes D for raw site-major bit matrices (GA chromosomes)
+// while reusing internal buffers. It is not safe for concurrent use; create
+// one per goroutine.
+type Evaluator struct {
+	p *Problem
+	// replicators[k] is scratch for the replica list of object k.
+	replicators [][]int32
+}
+
+// NewEvaluator returns an evaluator for p.
+func NewEvaluator(p *Problem) *Evaluator {
+	return &Evaluator{
+		p:           p,
+		replicators: make([][]int32, p.n),
+	}
+}
+
+// gather buckets the set bits of x into per-object replicator lists.
+func (e *Evaluator) gather(x *bitset.Set) {
+	n := e.p.n
+	for k := range e.replicators {
+		e.replicators[k] = e.replicators[k][:0]
+	}
+	for pos := x.NextSet(0); pos >= 0; pos = x.NextSet(pos + 1) {
+		e.replicators[pos%n] = append(e.replicators[pos%n], int32(pos/n))
+	}
+}
+
+// Cost returns D for the placement encoded by x. The bitset must be
+// site-major with length M·N. Objects with no replica at all contribute as
+// if only the primary existed (the GA repairs such chromosomes separately);
+// in well-formed schemes the primary bit is always present.
+func (e *Evaluator) Cost(x *bitset.Set) int64 {
+	e.gather(x)
+	var total int64
+	for k := 0; k < e.p.n; k++ {
+		total += e.objectCost(k, e.replicators[k])
+	}
+	return total
+}
+
+// ObjectCost returns V_k, the NTC attributable to object k, for the
+// replicator set given as site indices. Used by AGRA, whose chromosomes
+// describe a single object's replication scheme.
+func (e *Evaluator) ObjectCost(k int, replicators []int32) int64 {
+	return e.objectCost(k, replicators)
+}
+
+func (e *Evaluator) objectCost(k int, repl []int32) int64 {
+	p := e.p
+	sp := p.primary[k]
+	ok := p.size[k]
+	wTot := p.totalWrites[k]
+	if len(repl) == 0 {
+		// Treat as primaries-only (degenerate input).
+		return p.vPrime[k]
+	}
+	spRow := p.dist.Row(sp)
+	var total int64
+	for i := 0; i < p.m; i++ {
+		row := p.dist.Row(i)
+		dmin := row[repl[0]]
+		for _, j := range repl[1:] {
+			if d := row[j]; d < dmin {
+				dmin = d
+				if d == 0 {
+					break
+				}
+			}
+		}
+		if dmin == 0 {
+			// i is a replicator: it receives every update from the primary
+			// (its own updates ship to the primary via the x=i term).
+			total += wTot * ok * spRow[i]
+		} else {
+			total += p.reads[i*p.n+k]*ok*dmin + p.writes[i*p.n+k]*ok*spRow[i]
+		}
+	}
+	return total
+}
+
+// Cost returns the exact NTC (eq. 4) of the scheme.
+func (s *Scheme) Cost() int64 {
+	return NewEvaluator(s.p).Cost(s.x)
+}
+
+// ObjectCost returns V_k for object k under this scheme.
+func (s *Scheme) ObjectCost(k int) int64 {
+	e := NewEvaluator(s.p)
+	repl := make([]int32, 0, 8)
+	for i := 0; i < s.p.m; i++ {
+		if s.Has(i, k) {
+			repl = append(repl, int32(i))
+		}
+	}
+	return e.ObjectCost(k, repl)
+}
+
+// Savings converts a cost into the paper's quality metric:
+// 100·(D_prime − D)/D_prime percent of the primaries-only NTC saved.
+func (p *Problem) Savings(cost int64) float64 {
+	if p.dPrime == 0 {
+		return 0
+	}
+	return 100 * float64(p.dPrime-cost) / float64(p.dPrime)
+}
+
+// Savings returns the scheme's % NTC saving over the primaries-only
+// allocation.
+func (s *Scheme) Savings() float64 { return s.p.Savings(s.Cost()) }
+
+// Benefit computes B_k(i) (eq. 5): the expected NTC reduction per storage
+// unit from replicating object k at site i, judged from site i's local
+// view. nearestDist must be the current C(i, SN_k(i)) — the distance from i
+// to its nearest replica of k before the new replica is placed.
+//
+//	B_k(i) = ( R_k(i) − [ Wtot_k·o_k·C(i,SP_k) − W_k(i) ] ) / o_k
+//
+// where R_k(i) = r_k(i)·o_k·nearestDist is the read traffic eliminated,
+// Wtot_k·o_k·C(i,SP_k) is the update fan-in the new replica starts paying,
+// and W_k(i) = w_k(i)·o_k·C(i,SP_k) is the write-shipping cost site i
+// already paid (it is absorbed into the fan-in, so it offsets the penalty).
+func (p *Problem) Benefit(i, k int, nearestDist int64) float64 {
+	ok := p.size[k]
+	cSP := p.dist.At(i, p.primary[k])
+	reads := p.reads[i*p.n+k] * ok * nearestDist
+	fanIn := p.totalWrites[k] * ok * cSP
+	own := p.writes[i*p.n+k] * ok * cSP
+	return float64(reads-(fanIn-own)) / float64(ok)
+}
+
+// Estimate computes E_k(i) (eq. 6): the rapid O(M)-free replica-benefit
+// estimation AGRA uses to pick deallocation victims when a transcription
+// overflows a site. Higher values mean the replica is worth keeping;
+// deallocate ascending.
+//
+//	        TotalReads_k + w_k(i) − TotalWrites_k + r_k(i)·s(i)/o_k
+//	E_k(i) = ------------------------------------------------------
+//	          (Σ_x C(i,x) / mean_l Σ_x C(l,x)) · ReplicaDegree_k
+//
+// replicaDegree must be ≥ 1 (the object is currently replicated at i).
+func (p *Problem) Estimate(i, k, replicaDegree int) float64 {
+	if replicaDegree < 1 {
+		replicaDegree = 1
+	}
+	num := float64(p.totalReads[k]+p.writes[i*p.n+k]-p.totalWrites[k]) +
+		float64(p.reads[i*p.n+k])*float64(p.cap[i])/float64(p.size[k])
+	den := p.propWeight[i] * float64(replicaDegree)
+	if den <= 0 {
+		den = float64(replicaDegree)
+	}
+	return num / den
+}

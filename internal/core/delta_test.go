@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"testing"
+
+	"drp/internal/core"
+	"drp/internal/workload"
+	"drp/internal/xrand"
+)
+
+func TestDeltaEvaluatorMatchesFullCost(t *testing.T) {
+	p, err := workload.Generate(workload.NewSpec(10, 12, 0.05, 0.25), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewScheme(p)
+	d := core.NewDeltaEvaluator(s)
+	if d.Cost() != p.DPrime() {
+		t.Fatalf("initial delta cost %d != D' %d", d.Cost(), p.DPrime())
+	}
+
+	rng := xrand.New(7)
+	for trial := 0; trial < 300; trial++ {
+		i, k := rng.Intn(p.Sites()), rng.Intn(p.Objects())
+		if s.Has(i, k) {
+			delta, ok := d.RemoveDelta(i, k)
+			if p.Primary(k) == i {
+				if ok {
+					t.Fatal("RemoveDelta allowed a primary removal")
+				}
+				continue
+			}
+			if !ok {
+				t.Fatal("RemoveDelta rejected a valid removal")
+			}
+			before := d.Cost()
+			if err := d.Remove(i, k); err != nil {
+				t.Fatal(err)
+			}
+			if d.Cost() != before+delta {
+				t.Fatalf("remove delta %d inconsistent: %d -> %d", delta, before, d.Cost())
+			}
+		} else {
+			delta, ok := d.AddDelta(i, k)
+			if !ok {
+				continue // capacity
+			}
+			before := d.Cost()
+			if err := d.Add(i, k); err != nil {
+				t.Fatal(err)
+			}
+			if d.Cost() != before+delta {
+				t.Fatalf("add delta %d inconsistent: %d -> %d", delta, before, d.Cost())
+			}
+		}
+		if got, want := d.Cost(), s.Cost(); got != want {
+			t.Fatalf("trial %d: delta cost %d != full cost %d", trial, got, want)
+		}
+	}
+}
+
+func TestDeltaEvaluatorPredictionsWithoutMutation(t *testing.T) {
+	p, err := workload.Generate(workload.NewSpec(8, 10, 0.05, 0.3), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewScheme(p)
+	d := core.NewDeltaEvaluator(s)
+	// Probing must not change state.
+	for i := 0; i < p.Sites(); i++ {
+		for k := 0; k < p.Objects(); k++ {
+			d.AddDelta(i, k)
+			d.RemoveDelta(i, k)
+		}
+	}
+	if d.Cost() != p.DPrime() || s.TotalReplicas() != 0 {
+		t.Fatal("probing mutated the evaluator state")
+	}
+	// A predicted add delta must match the actual cost difference.
+	for i := 0; i < p.Sites(); i++ {
+		if delta, ok := d.AddDelta(i, 0); ok {
+			clone := s.Clone()
+			if err := clone.Add(i, 0); err != nil {
+				t.Fatal(err)
+			}
+			if want := clone.Cost() - s.Cost(); delta != want {
+				t.Fatalf("AddDelta(%d,0) = %d, want %d", i, delta, want)
+			}
+		}
+	}
+}

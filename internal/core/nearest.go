@@ -1,0 +1,73 @@
+package core
+
+// NearestTable maintains SN_k(i) — for every (site, object) pair, the
+// nearest site currently holding a replica of the object — together with the
+// corresponding distance. The paper's replication policy stores exactly this
+// two-field record at every site; SRA consults and incrementally updates it
+// after each placement.
+type NearestTable struct {
+	p *Problem
+	// site[i*N+k] = SN_k(i); dist[i*N+k] = C(i, SN_k(i)).
+	site []int32
+	dist []int64
+}
+
+// NewNearestTable builds the table for the scheme's current placements in
+// O(M · Σ_k |R_k|).
+func NewNearestTable(s *Scheme) *NearestTable {
+	p := s.p
+	t := &NearestTable{
+		p:    p,
+		site: make([]int32, p.m*p.n),
+		dist: make([]int64, p.m*p.n),
+	}
+	for k := 0; k < p.n; k++ {
+		t.recomputeObject(s, k)
+	}
+	return t
+}
+
+// Nearest returns SN_k(i).
+func (t *NearestTable) Nearest(i, k int) int { return int(t.site[i*t.p.n+k]) }
+
+// Dist returns C(i, SN_k(i)).
+func (t *NearestTable) Dist(i, k int) int64 { return t.dist[i*t.p.n+k] }
+
+// Add updates the table after a replica of object k is placed at site j:
+// every site whose current nearest replica is farther than j switches to j.
+// O(M).
+func (t *NearestTable) Add(j, k int) {
+	n := t.p.n
+	row := t.p.dist.Row(j)
+	for i := 0; i < t.p.m; i++ {
+		if d := row[i]; d < t.dist[i*n+k] {
+			t.dist[i*n+k] = d
+			t.site[i*n+k] = int32(j)
+		}
+	}
+}
+
+// Remove updates the table after the replica of object k at site j is
+// dropped, by recomputing the object's column against the scheme (which must
+// already reflect the removal).
+func (t *NearestTable) Remove(s *Scheme, k int) {
+	t.recomputeObject(s, k)
+}
+
+func (t *NearestTable) recomputeObject(s *Scheme, k int) {
+	p := t.p
+	repl := s.Replicators(k)
+	for i := 0; i < p.m; i++ {
+		row := p.dist.Row(i)
+		best := int32(repl[0])
+		bestD := row[repl[0]]
+		for _, j := range repl[1:] {
+			if d := row[j]; d < bestD {
+				bestD = d
+				best = int32(j)
+			}
+		}
+		t.site[i*p.n+k] = best
+		t.dist[i*p.n+k] = bestD
+	}
+}

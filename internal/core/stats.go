@@ -1,0 +1,93 @@
+package core
+
+// SchemeStats summarises a replication scheme for operators and reports.
+type SchemeStats struct {
+	// Replicas counts placements beyond the primaries.
+	Replicas int
+	// MeanDegree and MaxDegree describe per-object replication (degree
+	// includes the primary copy, so both are ≥ 1).
+	MeanDegree float64
+	MaxDegree  int
+	// StorageUsed and StorageCapacity aggregate over all sites;
+	// Utilization is their ratio.
+	StorageUsed     int64
+	StorageCapacity int64
+	Utilization     float64
+	// SiteUtilization is the per-site used/capacity fraction (1 for a full
+	// site; a zero-capacity site counts as fully utilised).
+	SiteUtilization []float64
+}
+
+// Stats computes summary statistics of the scheme.
+func (s *Scheme) Stats() SchemeStats {
+	p := s.p
+	st := SchemeStats{
+		Replicas:        s.TotalReplicas(),
+		SiteUtilization: make([]float64, p.m),
+	}
+	totalDegree := 0
+	for k := 0; k < p.n; k++ {
+		deg := s.ReplicaDegree(k)
+		totalDegree += deg
+		if deg > st.MaxDegree {
+			st.MaxDegree = deg
+		}
+	}
+	st.MeanDegree = float64(totalDegree) / float64(p.n)
+	for i := 0; i < p.m; i++ {
+		st.StorageUsed += s.used[i]
+		st.StorageCapacity += p.cap[i]
+		if p.cap[i] > 0 {
+			st.SiteUtilization[i] = float64(s.used[i]) / float64(p.cap[i])
+		} else {
+			st.SiteUtilization[i] = 1
+		}
+	}
+	if st.StorageCapacity > 0 {
+		st.Utilization = float64(st.StorageUsed) / float64(st.StorageCapacity)
+	}
+	return st
+}
+
+// Placement identifies one (site, object) replica.
+type Placement struct {
+	Site, Object int
+}
+
+// Diff reports the placements present in next but not in s (added) and
+// present in s but not in next (removed) — the migration plan for moving
+// the network from one scheme to the other. Both schemes must belong to
+// problems of identical shape.
+func (s *Scheme) Diff(next *Scheme) (added, removed []Placement) {
+	if s.p.m != next.p.m || s.p.n != next.p.n {
+		panic("core: Diff across problems of different shape")
+	}
+	for i := 0; i < s.p.m; i++ {
+		for k := 0; k < s.p.n; k++ {
+			has, will := s.Has(i, k), next.Has(i, k)
+			switch {
+			case will && !has:
+				added = append(added, Placement{Site: i, Object: k})
+			case has && !will:
+				removed = append(removed, Placement{Site: i, Object: k})
+			}
+		}
+	}
+	return added, removed
+}
+
+// MigrationCost returns the transfer cost of realising next from s: every
+// added replica is fetched from the nearest site currently holding the
+// object. Removals are free.
+func (s *Scheme) MigrationCost(next *Scheme) int64 {
+	added, _ := s.Diff(next)
+	if len(added) == 0 {
+		return 0
+	}
+	nt := NewNearestTable(s)
+	var total int64
+	for _, pl := range added {
+		total += s.p.size[pl.Object] * nt.Dist(pl.Site, pl.Object)
+	}
+	return total
+}

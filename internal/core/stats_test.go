@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSchemeStats(t *testing.T) {
+	p := fixture(t)
+	s := NewScheme(p)
+	st := s.Stats()
+	if st.Replicas != 0 {
+		t.Fatalf("primaries-only replicas = %d", st.Replicas)
+	}
+	if st.MeanDegree != 1 || st.MaxDegree != 1 {
+		t.Fatalf("primaries-only degrees: mean %v max %d", st.MeanDegree, st.MaxDegree)
+	}
+	// Storage: primaries use o_0=2 at site 0 and o_1=3 at site 2 of 15
+	// total capacity.
+	if st.StorageUsed != 5 || st.StorageCapacity != 15 {
+		t.Fatalf("storage %d/%d", st.StorageUsed, st.StorageCapacity)
+	}
+	if math.Abs(st.Utilization-5.0/15) > 1e-12 {
+		t.Fatalf("utilization %v", st.Utilization)
+	}
+
+	if err := s.Add(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Replicas != 1 || st.MaxDegree != 2 {
+		t.Fatalf("after add: replicas %d max degree %d", st.Replicas, st.MaxDegree)
+	}
+	if math.Abs(st.MeanDegree-1.5) > 1e-12 {
+		t.Fatalf("mean degree %v, want 1.5", st.MeanDegree)
+	}
+	if math.Abs(st.SiteUtilization[1]-2.0/5) > 1e-12 {
+		t.Fatalf("site 1 utilization %v", st.SiteUtilization[1])
+	}
+}
+
+func TestDiffAndMigrationCost(t *testing.T) {
+	p := fixture(t)
+	old := NewScheme(p)
+	next := NewScheme(p)
+	if err := next.Add(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := next.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	added, removed := old.Diff(next)
+	if len(added) != 2 || len(removed) != 0 {
+		t.Fatalf("diff: %d added, %d removed", len(added), len(removed))
+	}
+	// Migration: object 0 fetched from its primary site 0 (C=2, size 2),
+	// object 1 from primary site 2 (C=1, size 3) → 4 + 3 = 7.
+	if got := old.MigrationCost(next); got != 7 {
+		t.Fatalf("migration cost %d, want 7", got)
+	}
+
+	// Reverse direction: removals only, free.
+	back, gone := next.Diff(old)
+	if len(back) != 0 || len(gone) != 2 {
+		t.Fatalf("reverse diff: %d added, %d removed", len(back), len(gone))
+	}
+	if got := next.MigrationCost(old); got != 0 {
+		t.Fatalf("removal-only migration cost %d, want 0", got)
+	}
+
+	// Identical schemes: empty diff.
+	a, r := next.Diff(next.Clone())
+	if len(a)+len(r) != 0 {
+		t.Fatal("self-diff not empty")
+	}
+}
+
+func TestDiffPanicsOnShapeMismatch(t *testing.T) {
+	p := fixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	other := NewScheme(p)
+	// Build a different-shape problem.
+	small, err := NewProblem(Config{
+		Sizes:      []int64{1},
+		Capacities: []int64{1, 1},
+		Primaries:  []int{0},
+		Reads:      [][]int64{{1}, {1}},
+		Writes:     [][]int64{{0}, {0}},
+		Dist:       twoSiteDist(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewScheme(small).Diff(other)
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"drp/internal/agra"
+	"drp/internal/bitset"
+	"drp/internal/core"
+	"drp/internal/gra"
+	"drp/internal/workload"
+)
+
+// Policy names for Figure 4, parameterised by the configured budgets so the
+// labels stay honest when the campaign is scaled down.
+func (cfg Config) policyNames() []string {
+	return []string{
+		"Current",
+		"Current+AGRA",
+		"AGRA+5GRA",
+		"AGRA+10GRA",
+		fmt.Sprintf("Current+%dGRA", cfg.MedGens),
+		fmt.Sprintf("Current+%dGRA", cfg.LongGens),
+		fmt.Sprintf("%dGRA", cfg.LongGens),
+	}
+}
+
+// AdaptSweep holds Figure 4 measurements: per x point and policy, the mean
+// % NTC savings under the new patterns and the mean policy runtime.
+type AdaptSweep struct {
+	X        []float64
+	Policies []string
+	Savings  map[string][]float64
+	TimeMS   map[string][]float64
+}
+
+// runAdaptPoint evaluates all Section 6.3 policies for one pattern-change
+// setting, averaged over cfg.Networks networks. Returns savings and
+// runtimes keyed by policy name.
+func (cfg Config) runAdaptPoint(tag uint64, objectShare, readShare float64) (map[string]float64, map[string]float64, error) {
+	polNames := cfg.policyNames()
+	savAcc := make(map[string][]float64, len(polNames))
+	timeAcc := make(map[string][]float64, len(polNames))
+
+	for net := 0; net < cfg.Networks; net++ {
+		seed := cfg.pointSeed(tag, math.Float64bits(objectShare), math.Float64bits(readShare), uint64(net))
+		old, err := workload.Generate(workload.NewSpec(cfg.AdaptSites, cfg.AdaptObjects, cfg.BaseUpdateRatio, cfg.BaseCapacityRatio), seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The network's current scheme comes from a static GRA run on the
+		// old (night-time) patterns; its population is retained, as the
+		// paper's monitor site would.
+		staticRes, err := gra.Run(old, cfg.graParams(seed+1))
+		if err != nil {
+			return nil, nil, err
+		}
+		newP, changes, err := workload.ApplyChange(old, workload.ChangeSpec{
+			Ch:          cfg.Ch,
+			ObjectShare: objectShare,
+			ReadShare:   readShare,
+		}, seed+2)
+		if err != nil {
+			return nil, nil, err
+		}
+		changed := make([]int, len(changes))
+		for i, c := range changes {
+			changed[i] = c.Object
+		}
+		current, err := core.SchemeFromBits(newP, staticRes.Scheme.Bits())
+		if err != nil {
+			return nil, nil, err
+		}
+
+		record := func(name string, savings, ms float64) {
+			savAcc[name] = append(savAcc[name], savings)
+			timeAcc[name] = append(timeAcc[name], ms)
+		}
+
+		// Policy: Current — the stale static scheme evaluated against the
+		// new patterns.
+		record(polNames[0], newP.Savings(current.Cost()), 0)
+
+		// Policies: Current+AGRA, AGRA+5GRA, AGRA+10GRA.
+		for i, miniGens := range []int{0, 5, 10} {
+			mini := cfg.graParams(seed + 3 + uint64(i))
+			res, err := agra.Adapt(agra.Input{
+				Problem:       newP,
+				Current:       current,
+				GRAPopulation: staticRes.Population,
+				Changed:       changed,
+			}, cfg.agraParams(seed+7+uint64(i)), mini, miniGens)
+			if err != nil {
+				return nil, nil, err
+			}
+			record(polNames[1+i], res.Savings, float64(res.Elapsed.Microseconds())/1000)
+		}
+
+		// Policies: Current+MedGRA and Current+LongGRA — re-run the static
+		// GRA from the retained population under the new patterns.
+		seedPop := append([]*bitset.Set{current.Bits()}, staticRes.Population...)
+		for i, gens := range []int{cfg.MedGens, cfg.LongGens} {
+			params := cfg.graParams(seed + 11 + uint64(i))
+			params.Generations = gens
+			res, err := gra.RunWithPopulation(newP, params, seedPop)
+			if err != nil {
+				return nil, nil, err
+			}
+			record(polNames[4+i], res.Scheme.Savings(), float64(res.Elapsed.Microseconds())/1000)
+		}
+
+		// Policy: LongGRA from scratch (fresh SRA-seeded population).
+		params := cfg.graParams(seed + 13)
+		params.Generations = cfg.LongGens
+		res, err := gra.Run(newP, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		record(polNames[6], res.Scheme.Savings(), float64(res.Elapsed.Microseconds())/1000)
+	}
+
+	sav := make(map[string]float64, len(polNames))
+	ms := make(map[string]float64, len(polNames))
+	for _, name := range polNames {
+		sav[name] = mean(savAcc[name])
+		ms[name] = mean(timeAcc[name])
+	}
+	return sav, ms, nil
+}
+
+// runAdaptSweep produces Figures 4(a)/4(b)/4(d): the object-share sweep at
+// a fixed read share (1.0 → reads increase; 0.0 → updates increase).
+func (cfg Config) runAdaptSweep(tag uint64, readShare float64, what string, log logf) (*AdaptSweep, error) {
+	sweep := &AdaptSweep{
+		Policies: cfg.policyNames(),
+		Savings:  make(map[string][]float64),
+		TimeMS:   make(map[string][]float64),
+	}
+	for xi, oc := range cfg.OChSweep {
+		log("fig4 (%s): OCh=%.0f%% (%d/%d)", what, 100*oc, xi+1, len(cfg.OChSweep))
+		sweep.X = append(sweep.X, 100*oc)
+		sav, ms, err := cfg.runAdaptPoint(tag, oc, readShare)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range sweep.Policies {
+			sweep.Savings[name] = append(sweep.Savings[name], sav[name])
+			sweep.TimeMS[name] = append(sweep.TimeMS[name], ms[name])
+		}
+	}
+	return sweep, nil
+}
+
+// runMixSweep produces Figure 4(c): object share fixed, the read/update mix
+// of the changes swept from all-updates to all-reads.
+func (cfg Config) runMixSweep(log logf) (*AdaptSweep, error) {
+	sweep := &AdaptSweep{
+		Policies: cfg.policyNames(),
+		Savings:  make(map[string][]float64),
+		TimeMS:   make(map[string][]float64),
+	}
+	for xi, mix := range cfg.MixSweep {
+		log("fig4c: read share=%.0f%% (%d/%d)", 100*mix, xi+1, len(cfg.MixSweep))
+		sweep.X = append(sweep.X, 100*mix)
+		sav, ms, err := cfg.runAdaptPoint(0x4c0, cfg.MixObjectShare, mix)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range sweep.Policies {
+			sweep.Savings[name] = append(sweep.Savings[name], sav[name])
+			sweep.TimeMS[name] = append(sweep.TimeMS[name], ms[name])
+		}
+	}
+	return sweep, nil
+}
+
+func (s *AdaptSweep) figure(id, title, xLabel string, times bool) *FigureResult {
+	yLabel := "% NTC savings"
+	if times {
+		yLabel = "execution time (ms)"
+	}
+	fig := &FigureResult{ID: id, Title: title, XLabel: xLabel, YLabel: yLabel, X: s.X}
+	for _, name := range s.Policies {
+		src := s.Savings[name]
+		if times {
+			if name == "Current" {
+				continue // the stale scheme costs nothing to "compute"
+			}
+			src = s.TimeMS[name]
+		}
+		fig.Series = append(fig.Series, Series{Name: name, Y: src})
+	}
+	return fig
+}

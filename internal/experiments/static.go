@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"drp/internal/gra"
+	"drp/internal/sra"
+	"drp/internal/workload"
+)
+
+// Variant is one algorithm/parameter combination tracked through a sweep.
+type Variant struct {
+	Label      string
+	Savings    []float64 // % NTC saved, mean over networks, per x point
+	SavingsStd []float64 // standard deviation of the savings across networks
+	Replicas   []float64 // replicas created beyond primaries
+	TimeMS     []float64 // execution time in milliseconds
+}
+
+// StaticSweep holds the measurements behind Figures 1–3: for each x-axis
+// point, the per-variant mean savings, replica counts and runtimes.
+type StaticSweep struct {
+	X        []float64
+	Variants []*Variant
+}
+
+func (s *StaticSweep) variant(label string) *Variant {
+	for _, v := range s.Variants {
+		if v.Label == label {
+			return v
+		}
+	}
+	v := &Variant{Label: label}
+	s.Variants = append(s.Variants, v)
+	return v
+}
+
+// staticPoint runs SRA and GRA on cfg.Networks random instances of the
+// given shape and returns the mean savings, replica counts, runtimes and
+// savings standard deviations:
+// (sraSav, graSav, sraRepl, graRepl, sraMS, graMS, sraSavStd, graSavStd).
+func (cfg Config) staticPoint(tag uint64, m, n int, u, c float64) ([8]float64, error) {
+	var acc [6][]float64
+	for net := 0; net < cfg.Networks; net++ {
+		seed := cfg.pointSeed(tag, uint64(m), uint64(n), math.Float64bits(u), math.Float64bits(c), uint64(net))
+		p, err := workload.Generate(workload.NewSpec(m, n, u, c), seed)
+		if err != nil {
+			return [8]float64{}, fmt.Errorf("experiments: generate M=%d N=%d: %w", m, n, err)
+		}
+		sraRes := sra.Run(p, sra.Options{})
+		graRes, err := gra.Run(p, cfg.graParams(seed+1))
+		if err != nil {
+			return [8]float64{}, fmt.Errorf("experiments: gra M=%d N=%d: %w", m, n, err)
+		}
+		acc[0] = append(acc[0], p.Savings(sraRes.Scheme.Cost()))
+		acc[1] = append(acc[1], graRes.Scheme.Savings())
+		acc[2] = append(acc[2], float64(sraRes.Scheme.TotalReplicas()))
+		acc[3] = append(acc[3], float64(graRes.Scheme.TotalReplicas()))
+		acc[4] = append(acc[4], float64(sraRes.Elapsed.Microseconds())/1000)
+		acc[5] = append(acc[5], float64(graRes.Elapsed.Microseconds())/1000)
+	}
+	var out [8]float64
+	for i := range acc {
+		out[i] = mean(acc[i])
+	}
+	out[6] = stddev(acc[0])
+	out[7] = stddev(acc[1])
+	return out, nil
+}
+
+// runSitesSweep produces the data behind Figures 1(a), 1(b), 2(a), 2(b):
+// object count fixed at Fig1Objects, sites swept, one SRA and one GRA
+// variant per update ratio.
+func (cfg Config) runSitesSweep(log logf) (*StaticSweep, error) {
+	sweep := &StaticSweep{}
+	for _, m := range cfg.SitesSweep {
+		sweep.X = append(sweep.X, float64(m))
+	}
+	for _, u := range cfg.UpdateRatios {
+		for xi, m := range cfg.SitesSweep {
+			log("fig1/2: sites=%d U=%.0f%% (%d/%d)", m, 100*u, xi+1, len(cfg.SitesSweep))
+			vals, err := cfg.staticPoint(0x516, m, cfg.Fig1Objects, u, cfg.BaseCapacityRatio)
+			if err != nil {
+				return nil, err
+			}
+			cfg.appendPoint(sweep, u, vals)
+		}
+	}
+	return sweep, nil
+}
+
+// runObjectsSweep produces the data behind Figures 1(c) and 1(d): sites
+// fixed at Fig1cSites, objects swept.
+func (cfg Config) runObjectsSweep(log logf) (*StaticSweep, error) {
+	sweep := &StaticSweep{}
+	for _, n := range cfg.ObjectsSweep {
+		sweep.X = append(sweep.X, float64(n))
+	}
+	for _, u := range cfg.UpdateRatios {
+		for xi, n := range cfg.ObjectsSweep {
+			log("fig1c/d: objects=%d U=%.0f%% (%d/%d)", n, 100*u, xi+1, len(cfg.ObjectsSweep))
+			vals, err := cfg.staticPoint(0x0b7, cfg.Fig1cSites, n, u, cfg.BaseCapacityRatio)
+			if err != nil {
+				return nil, err
+			}
+			cfg.appendPoint(sweep, u, vals)
+		}
+	}
+	return sweep, nil
+}
+
+func (cfg Config) appendPoint(sweep *StaticSweep, u float64, vals [8]float64) {
+	uLabel := fmt.Sprintf("U=%s%%", trimFloat(100*u))
+	appendVals(sweep.variant("SRA "+uLabel), sweep.variant("GRA "+uLabel), vals)
+}
+
+// appendVals pushes one staticPoint result onto the SRA/GRA variant pair.
+func appendVals(sraV, graV *Variant, vals [8]float64) {
+	sraV.Savings = append(sraV.Savings, vals[0])
+	graV.Savings = append(graV.Savings, vals[1])
+	sraV.Replicas = append(sraV.Replicas, vals[2])
+	graV.Replicas = append(graV.Replicas, vals[3])
+	sraV.TimeMS = append(sraV.TimeMS, vals[4])
+	graV.TimeMS = append(graV.TimeMS, vals[5])
+	sraV.SavingsStd = append(sraV.SavingsStd, vals[6])
+	graV.SavingsStd = append(graV.SavingsStd, vals[7])
+}
+
+// runUpdateSweep produces Figure 3(a): savings versus update ratio at the
+// adaptive test-case shape.
+func (cfg Config) runUpdateSweep(log logf) (*StaticSweep, error) {
+	sweep := &StaticSweep{}
+	sraV := sweep.variant("SRA")
+	graV := sweep.variant("GRA")
+	for xi, u := range cfg.UpdateSweep {
+		log("fig3a: U=%.1f%% (%d/%d)", 100*u, xi+1, len(cfg.UpdateSweep))
+		sweep.X = append(sweep.X, 100*u)
+		vals, err := cfg.staticPoint(0x3a0, cfg.Fig3Sites, cfg.Fig3Objects, u, cfg.BaseCapacityRatio)
+		if err != nil {
+			return nil, err
+		}
+		appendVals(sraV, graV, vals)
+	}
+	return sweep, nil
+}
+
+// runCapacitySweep produces Figure 3(b): savings versus capacity ratio at
+// the base update ratio (paper: U=5%).
+func (cfg Config) runCapacitySweep(log logf) (*StaticSweep, error) {
+	sweep := &StaticSweep{}
+	sraV := sweep.variant("SRA")
+	graV := sweep.variant("GRA")
+	for xi, c := range cfg.CapacitySweep {
+		log("fig3b: C=%.0f%% (%d/%d)", 100*c, xi+1, len(cfg.CapacitySweep))
+		sweep.X = append(sweep.X, 100*c)
+		vals, err := cfg.staticPoint(0x3b0, cfg.Fig3Sites, cfg.Fig3Objects, cfg.BaseUpdateRatio, c)
+		if err != nil {
+			return nil, err
+		}
+		appendVals(sraV, graV, vals)
+	}
+	return sweep, nil
+}
+
+// figureFrom projects one measurement (savings, replicas, or runtime of a
+// label subset) of a sweep into a FigureResult.
+func figureFrom(sweep *StaticSweep, id, title, xLabel, yLabel string, pick func(Variant) ([]float64, bool)) *FigureResult {
+	fig := &FigureResult{ID: id, Title: title, XLabel: xLabel, YLabel: yLabel, X: sweep.X}
+	for _, v := range sweep.Variants {
+		if ys, ok := pick(*v); ok {
+			fig.Series = append(fig.Series, Series{Name: v.Label, Y: ys})
+		}
+	}
+	return fig
+}

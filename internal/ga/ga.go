@@ -1,0 +1,195 @@
+// Package ga provides the genetic-search building blocks shared by the GRA
+// and AGRA solvers: fitness-proportionate selection by stochastic remainder,
+// roulette wheels, one- and two-point crossover over bitsets, and sparse
+// bit-flip mutation.
+package ga
+
+import (
+	"math"
+
+	"drp/internal/bitset"
+	"drp/internal/xrand"
+)
+
+// Individual pairs a chromosome with its cached evaluation. Fitness must be
+// non-negative for the proportionate selection operators.
+type Individual struct {
+	Bits    *bitset.Set
+	Cost    int64
+	Fitness float64
+}
+
+// Clone deep-copies the individual.
+func (ind Individual) Clone() Individual {
+	return Individual{Bits: ind.Bits.Clone(), Cost: ind.Cost, Fitness: ind.Fitness}
+}
+
+// Best returns the index of the highest-fitness individual, or -1 for an
+// empty population.
+func Best(pop []Individual) int {
+	best := -1
+	for i := range pop {
+		if best < 0 || pop[i].Fitness > pop[best].Fitness {
+			best = i
+		}
+	}
+	return best
+}
+
+// Worst returns the index of the lowest-fitness individual, or -1 for an
+// empty population.
+func Worst(pop []Individual) int {
+	worst := -1
+	for i := range pop {
+		if worst < 0 || pop[i].Fitness < pop[worst].Fitness {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// MeanFitness returns the average fitness of the population.
+func MeanFitness(pop []Individual) float64 {
+	if len(pop) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := range pop {
+		total += pop[i].Fitness
+	}
+	return total / float64(len(pop))
+}
+
+// StochasticRemainder allocates count offspring from pool proportionally to
+// fitness using the stochastic remainder technique: each individual first
+// receives floor(count·f_i/Σf) deterministic copies; the remaining slots are
+// filled by a roulette wheel over the fractional parts. This bounds the
+// sampling error that plain roulette-wheel selection (Holland's SGA)
+// suffers from. If all fitness values are zero the selection is uniform.
+//
+// Returned individuals are deep copies, safe for in-place variation.
+func StochasticRemainder(pool []Individual, count int, rng *xrand.Source) []Individual {
+	out := make([]Individual, 0, count)
+	if len(pool) == 0 || count == 0 {
+		return out
+	}
+	total := 0.0
+	for i := range pool {
+		total += pool[i].Fitness
+	}
+	if total <= 0 {
+		for len(out) < count {
+			out = append(out, pool[rng.Intn(len(pool))].Clone())
+		}
+		return out
+	}
+	fracs := make([]float64, len(pool))
+	for i := range pool {
+		expected := float64(count) * pool[i].Fitness / total
+		copies := int(expected)
+		fracs[i] = expected - float64(copies)
+		for c := 0; c < copies && len(out) < count; c++ {
+			out = append(out, pool[i].Clone())
+		}
+	}
+	for len(out) < count {
+		idx := RouletteIndex(fracs, rng)
+		out = append(out, pool[idx].Clone())
+		// Each fractional part buys at most one extra offspring.
+		fracs[idx] = 0
+	}
+	return out
+}
+
+// RouletteIndex picks an index with probability proportional to the
+// non-negative weights. All-zero weights fall back to a uniform pick.
+func RouletteIndex(weights []float64, rng *xrand.Source) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return rng.Intn(len(weights))
+	}
+	spin := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if spin < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// CrossSpan is the bit range [From, To) exchanged by a crossover, reported
+// so domain-specific repair (gene validity in GRA) knows which genes were
+// cut.
+type CrossSpan struct {
+	From, To int
+}
+
+// TwoPoint performs the paper's two-point crossover on a and b in place:
+// two cut points are drawn, and with equal probability either the segment
+// between them or the two outer fractions are swapped. It returns the
+// swapped spans (one or two).
+func TwoPoint(a, b *bitset.Set, rng *xrand.Source) []CrossSpan {
+	n := a.Len()
+	c1 := rng.Intn(n + 1)
+	c2 := rng.Intn(n + 1)
+	if c1 > c2 {
+		c1, c2 = c2, c1
+	}
+	if rng.Bool(0.5) {
+		a.SwapRange(b, c1, c2)
+		return []CrossSpan{{From: c1, To: c2}}
+	}
+	a.SwapRange(b, 0, c1)
+	a.SwapRange(b, c2, n)
+	return []CrossSpan{{From: 0, To: c1}, {From: c2, To: n}}
+}
+
+// OnePoint performs single-point crossover in place, swapping with equal
+// probability the left or the right part — the AGRA variant. It returns the
+// swapped span.
+func OnePoint(a, b *bitset.Set, rng *xrand.Source) CrossSpan {
+	n := a.Len()
+	cut := rng.Intn(n + 1)
+	if rng.Bool(0.5) {
+		a.SwapRange(b, 0, cut)
+		return CrossSpan{From: 0, To: cut}
+	}
+	a.SwapRange(b, cut, n)
+	return CrossSpan{From: cut, To: n}
+}
+
+// MutateBits visits each bit index with independent probability rate and
+// calls flip for it. Sparse rates use geometric skipping so the cost is
+// proportional to the number of flipped bits, not the chromosome length.
+func MutateBits(length int, rate float64, rng *xrand.Source, flip func(i int)) {
+	if rate <= 0 || length == 0 {
+		return
+	}
+	if rate >= 1 {
+		for i := 0; i < length; i++ {
+			flip(i)
+		}
+		return
+	}
+	i := nextGeometric(rate, rng)
+	for i < length {
+		flip(i)
+		i += 1 + nextGeometric(rate, rng)
+	}
+}
+
+// nextGeometric returns the number of Bernoulli(rate) failures before the
+// next success.
+func nextGeometric(rate float64, rng *xrand.Source) int {
+	// Inverse-CDF sampling: floor(ln U / ln(1-p)).
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int(math.Log(u) / math.Log(1-rate))
+}

@@ -1,0 +1,243 @@
+package ga
+
+import (
+	"math"
+	"testing"
+
+	"drp/internal/bitset"
+	"drp/internal/xrand"
+)
+
+func mkpop(fitness ...float64) []Individual {
+	pop := make([]Individual, len(fitness))
+	for i, f := range fitness {
+		pop[i] = Individual{Bits: bitset.New(8), Fitness: f}
+		pop[i].Bits.Set(i % 8)
+	}
+	return pop
+}
+
+func TestBestWorstMean(t *testing.T) {
+	pop := mkpop(0.2, 0.9, 0.5)
+	if Best(pop) != 1 {
+		t.Fatalf("Best = %d, want 1", Best(pop))
+	}
+	if Worst(pop) != 0 {
+		t.Fatalf("Worst = %d, want 0", Worst(pop))
+	}
+	if m := MeanFitness(pop); math.Abs(m-(0.2+0.9+0.5)/3) > 1e-12 {
+		t.Fatalf("MeanFitness = %v", m)
+	}
+	if Best(nil) != -1 || Worst(nil) != -1 || MeanFitness(nil) != 0 {
+		t.Fatal("empty population edge cases broken")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ind := Individual{Bits: bitset.New(4), Cost: 7, Fitness: 0.5}
+	c := ind.Clone()
+	c.Bits.Set(0)
+	if ind.Bits.Test(0) {
+		t.Fatal("clone shares bits with original")
+	}
+	if c.Cost != 7 || c.Fitness != 0.5 {
+		t.Fatal("clone lost metadata")
+	}
+}
+
+func TestStochasticRemainderDeterministicPart(t *testing.T) {
+	// With fitness 3:1 and 4 slots, expected copies are 3 and 1 exactly —
+	// no roulette needed, so the allocation is deterministic.
+	pop := mkpop(3, 1)
+	rng := xrand.New(1)
+	out := StochasticRemainder(pop, 4, rng)
+	if len(out) != 4 {
+		t.Fatalf("selected %d, want 4", len(out))
+	}
+	counts := map[float64]int{}
+	for _, ind := range out {
+		counts[ind.Fitness]++
+	}
+	if counts[3] != 3 || counts[1] != 1 {
+		t.Fatalf("counts = %v, want 3×f3, 1×f1", counts)
+	}
+}
+
+func TestStochasticRemainderProportionality(t *testing.T) {
+	pop := mkpop(0.7, 0.2, 0.1)
+	rng := xrand.New(2)
+	counts := make([]int, 3)
+	const rounds = 2000
+	for r := 0; r < rounds; r++ {
+		for _, ind := range StochasticRemainder(pop, 10, rng) {
+			switch ind.Fitness {
+			case 0.7:
+				counts[0]++
+			case 0.2:
+				counts[1]++
+			case 0.1:
+				counts[2]++
+			}
+		}
+	}
+	total := float64(rounds * 10)
+	for i, want := range []float64{0.7, 0.2, 0.1} {
+		got := float64(counts[i]) / total
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("individual %d selected %.3f of slots, want ~%.1f", i, got, want)
+		}
+	}
+}
+
+func TestStochasticRemainderZeroFitness(t *testing.T) {
+	pop := mkpop(0, 0, 0)
+	out := StochasticRemainder(pop, 6, xrand.New(3))
+	if len(out) != 6 {
+		t.Fatalf("selected %d, want 6", len(out))
+	}
+}
+
+func TestStochasticRemainderEmpty(t *testing.T) {
+	if out := StochasticRemainder(nil, 5, xrand.New(1)); len(out) != 0 {
+		t.Fatal("selection from empty pool returned individuals")
+	}
+	if out := StochasticRemainder(mkpop(1), 0, xrand.New(1)); len(out) != 0 {
+		t.Fatal("zero-count selection returned individuals")
+	}
+}
+
+func TestStochasticRemainderReturnsClones(t *testing.T) {
+	pop := mkpop(1, 1)
+	out := StochasticRemainder(pop, 2, xrand.New(4))
+	out[0].Bits.Set(7)
+	if pop[0].Bits.Test(7) && pop[1].Bits.Test(7) {
+		t.Fatal("selection returned references, not clones")
+	}
+}
+
+func TestRouletteIndex(t *testing.T) {
+	rng := xrand.New(5)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[RouletteIndex([]float64{1, 2, 7}, rng)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / 30000
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("index %d frequency %.3f, want ~%.1f", i, got, want)
+		}
+	}
+	// All-zero weights: uniform fallback, must not panic.
+	idx := RouletteIndex([]float64{0, 0}, rng)
+	if idx < 0 || idx > 1 {
+		t.Fatalf("zero-weight roulette index %d", idx)
+	}
+}
+
+func TestTwoPointPreservesMultiset(t *testing.T) {
+	rng := xrand.New(6)
+	for trial := 0; trial < 200; trial++ {
+		a, b := bitset.New(100), bitset.New(100)
+		for i := 0; i < 100; i++ {
+			if rng.Bool(0.5) {
+				a.Set(i)
+			}
+			if rng.Bool(0.5) {
+				b.Set(i)
+			}
+		}
+		wantPerBit := make([]int, 100)
+		for i := 0; i < 100; i++ {
+			if a.Test(i) {
+				wantPerBit[i]++
+			}
+			if b.Test(i) {
+				wantPerBit[i]++
+			}
+		}
+		spans := TwoPoint(a, b, rng)
+		if len(spans) == 0 || len(spans) > 2 {
+			t.Fatalf("TwoPoint returned %d spans", len(spans))
+		}
+		for i := 0; i < 100; i++ {
+			got := 0
+			if a.Test(i) {
+				got++
+			}
+			if b.Test(i) {
+				got++
+			}
+			if got != wantPerBit[i] {
+				t.Fatalf("trial %d: bit %d multiset changed", trial, i)
+			}
+		}
+	}
+}
+
+func TestOnePointPreservesMultiset(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		a, b := bitset.New(40), bitset.New(40)
+		for i := 0; i < 40; i++ {
+			if rng.Bool(0.3) {
+				a.Set(i)
+			}
+			if rng.Bool(0.7) {
+				b.Set(i)
+			}
+		}
+		before := a.Count() + b.Count()
+		span := OnePoint(a, b, rng)
+		if span.From < 0 || span.To > 40 {
+			t.Fatalf("span %+v out of range", span)
+		}
+		if a.Count()+b.Count() != before {
+			t.Fatal("one-point crossover changed total bit count")
+		}
+	}
+}
+
+func TestMutateBitsRate(t *testing.T) {
+	rng := xrand.New(8)
+	const length, trials = 1000, 200
+	rate := 0.01
+	flips := 0
+	for trial := 0; trial < trials; trial++ {
+		MutateBits(length, rate, rng, func(i int) {
+			if i < 0 || i >= length {
+				t.Fatalf("flip index %d out of range", i)
+			}
+			flips++
+		})
+	}
+	mean := float64(flips) / trials
+	if math.Abs(mean-10) > 1.5 {
+		t.Fatalf("mean flips per chromosome %v, want ~10", mean)
+	}
+}
+
+func TestMutateBitsEdgeRates(t *testing.T) {
+	count := 0
+	MutateBits(100, 0, xrand.New(9), func(i int) { count++ })
+	if count != 0 {
+		t.Fatal("rate 0 flipped bits")
+	}
+	MutateBits(100, 1, xrand.New(9), func(i int) { count++ })
+	if count != 100 {
+		t.Fatalf("rate 1 flipped %d bits, want 100", count)
+	}
+	MutateBits(0, 0.5, xrand.New(9), func(i int) { t.Fatal("flip on empty chromosome") })
+}
+
+func TestMutateBitsVisitsAscendingDistinct(t *testing.T) {
+	rng := xrand.New(10)
+	for trial := 0; trial < 50; trial++ {
+		last := -1
+		MutateBits(500, 0.05, rng, func(i int) {
+			if i <= last {
+				t.Fatalf("flip order not strictly ascending: %d after %d", i, last)
+			}
+			last = i
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package gra
+
+import (
+	"testing"
+
+	"drp/internal/core"
+)
+
+func TestSGASelectionProducesValidSchemes(t *testing.T) {
+	p := gen(t, 10, 12, 0.05, 0.15, 31)
+	params := smallParams(1)
+	params.Selection = SelectionSGA
+	res, err := Run(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, bits := range res.Population {
+		if _, err := core.SchemeFromBits(p, bits); err != nil {
+			t.Fatalf("SGA chromosome %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestOnePointCrossoverProducesValidSchemes(t *testing.T) {
+	p := gen(t, 10, 12, 0.05, 0.10, 32)
+	params := smallParams(2)
+	params.Crossover = CrossoverOnePoint
+	params.CrossoverRate = 1.0
+	res, err := Run(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bits := range res.Population {
+		if _, err := core.SchemeFromBits(p, bits); err != nil {
+			t.Fatalf("one-point chromosome %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRandomSeedingRunsAndIsValid(t *testing.T) {
+	p := gen(t, 10, 12, 0.05, 0.15, 33)
+	params := smallParams(3)
+	params.Seeding = SeedingRandom
+	res, err := Run(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSRASeedingBeatsRandomSeedingAtSmallBudgets(t *testing.T) {
+	// With few generations the GA cannot recover from a random start; the
+	// paper's SRA seeding should dominate. Average over a few seeds to
+	// dodge GA noise.
+	p := gen(t, 14, 18, 0.05, 0.15, 34)
+	var sraTotal, randTotal float64
+	for seed := uint64(1); seed <= 3; seed++ {
+		params := smallParams(seed)
+		params.Generations = 5
+		res, err := Run(p, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sraTotal += res.Fitness
+
+		params.Seeding = SeedingRandom
+		res, err = Run(p, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randTotal += res.Fitness
+	}
+	if sraTotal <= randTotal {
+		t.Fatalf("SRA seeding total fitness %.4f not better than random %.4f", sraTotal, randTotal)
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	pr := Params{}.normalized()
+	if pr.Selection != SelectionMuPlusLambda || pr.Crossover != CrossoverTwoPoint || pr.Seeding != SeedingSRA {
+		t.Fatalf("normalized zero params = %+v", pr)
+	}
+}
+
+func TestAblationParamValidation(t *testing.T) {
+	p := gen(t, 5, 5, 0.05, 0.15, 35)
+	bad := smallParams(1)
+	bad.Selection = Selection(9)
+	if _, err := Run(p, bad); err == nil {
+		t.Fatal("bad selection accepted")
+	}
+	bad = smallParams(1)
+	bad.Crossover = Crossover(9)
+	if _, err := Run(p, bad); err == nil {
+		t.Fatal("bad crossover accepted")
+	}
+	bad = smallParams(1)
+	bad.Seeding = Seeding(9)
+	if _, err := Run(p, bad); err == nil {
+		t.Fatal("bad seeding accepted")
+	}
+}
+
+func TestPatienceStopsEarly(t *testing.T) {
+	p := gen(t, 8, 10, 0.05, 0.15, 36)
+	params := smallParams(4)
+	params.Generations = 200
+	params.Patience = 3
+	res, err := Run(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) >= 201 {
+		t.Fatal("patience did not stop the run early")
+	}
+	// The last Patience generations recorded no improvement.
+	h := res.History
+	last := h[len(h)-1].BestFitness
+	for i := len(h) - params.Patience; i < len(h); i++ {
+		if h[i].BestFitness != last {
+			t.Fatal("stopped while still improving")
+		}
+	}
+}
+
+func TestNegativePatienceRejected(t *testing.T) {
+	p := gen(t, 5, 5, 0.05, 0.15, 37)
+	params := smallParams(1)
+	params.Patience = -1
+	if _, err := Run(p, params); err == nil {
+		t.Fatal("negative patience accepted")
+	}
+}

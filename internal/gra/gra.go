@@ -1,0 +1,364 @@
+// Package gra implements the Genetic Replication Algorithm of Section 4.
+//
+// A chromosome is the site-major M·N bit matrix of a replication scheme: M
+// genes (one per site) of N bits (one per object). The initial population
+// is seeded by SRA runs with randomised site orders, half of it perturbed
+// on a quarter of its bits; fitness is the normalised NTC saving
+// f = (D′ − D)/D′; selection is stochastic-remainder over a (µ+λ) pool of
+// parents plus a crossover subpopulation plus a mutation subpopulation;
+// elitism re-injects the best-so-far chromosome every few generations.
+// Two-point crossover can only invalidate the genes containing the cut
+// points, and validity is restored by swapping the uncrossed remainder of
+// those genes (after which each gene comes whole from one valid parent).
+package gra
+
+import (
+	"fmt"
+	"time"
+
+	"drp/internal/bitset"
+	"drp/internal/core"
+	"drp/internal/ga"
+	"drp/internal/sra"
+	"drp/internal/xrand"
+)
+
+// Selection picks the GA sampling scheme. The paper adopts (µ+λ) selection
+// with the stochastic remainder technique; Holland's simple GA (plain
+// generational roulette) is kept as an ablation baseline.
+type Selection int
+
+// Selection schemes.
+const (
+	// SelectionMuPlusLambda pools parents with both offspring
+	// subpopulations and selects by stochastic remainder (the paper's
+	// choice).
+	SelectionMuPlusLambda Selection = iota + 1
+	// SelectionSGA is Holland's simple GA: plain roulette over parents,
+	// offspring replace the generation wholesale.
+	SelectionSGA
+)
+
+// Crossover picks the recombination operator.
+type Crossover int
+
+// Crossover operators.
+const (
+	// CrossoverTwoPoint is the paper's choice.
+	CrossoverTwoPoint Crossover = iota + 1
+	// CrossoverOnePoint is the single-point ablation variant.
+	CrossoverOnePoint
+)
+
+// Seeding picks how the initial population is built.
+type Seeding int
+
+// Seeding strategies.
+const (
+	// SeedingSRA seeds from randomised SRA runs, half perturbed (paper).
+	SeedingSRA Seeding = iota + 1
+	// SeedingRandom seeds from random valid schemes, quantifying how much
+	// the greedy warm start buys.
+	SeedingRandom
+)
+
+// Params are the GRA control parameters. The paper fixes Np=50, Ng=80,
+// µc=0.9, µm=0.01 after tuning, with the elite copied back every 5
+// generations. The Selection/Crossover/Seeding knobs default to the
+// paper's choices and exist for the ablation benchmarks.
+type Params struct {
+	PopSize       int     // Np
+	Generations   int     // Ng
+	CrossoverRate float64 // µc
+	MutationRate  float64 // µm
+	EliteEvery    int     // elite re-injection period, in generations
+	Seed          uint64  // RNG seed; identical seeds reproduce runs exactly
+
+	Selection Selection // zero value = SelectionMuPlusLambda
+	Crossover Crossover // zero value = CrossoverTwoPoint
+	Seeding   Seeding   // zero value = SeedingSRA
+
+	// Patience, when positive, stops the run early once the best-so-far
+	// fitness has not improved for that many consecutive generations — an
+	// extension for online use where the generation budget is a ceiling,
+	// not a target.
+	Patience int
+}
+
+// DefaultParams returns the paper's tuned parameters.
+func DefaultParams() Params {
+	return Params{
+		PopSize:       50,
+		Generations:   80,
+		CrossoverRate: 0.9,
+		MutationRate:  0.01,
+		EliteEvery:    5,
+	}
+}
+
+// normalized fills the ablation knobs' zero values with the paper's
+// defaults.
+func (pr Params) normalized() Params {
+	if pr.Selection == 0 {
+		pr.Selection = SelectionMuPlusLambda
+	}
+	if pr.Crossover == 0 {
+		pr.Crossover = CrossoverTwoPoint
+	}
+	if pr.Seeding == 0 {
+		pr.Seeding = SeedingSRA
+	}
+	return pr
+}
+
+func (pr Params) validate() error {
+	switch {
+	case pr.Selection < 0 || pr.Selection > SelectionSGA:
+		return fmt.Errorf("gra: unknown selection scheme %d", int(pr.Selection))
+	case pr.Crossover < 0 || pr.Crossover > CrossoverOnePoint:
+		return fmt.Errorf("gra: unknown crossover %d", int(pr.Crossover))
+	case pr.Seeding < 0 || pr.Seeding > SeedingRandom:
+		return fmt.Errorf("gra: unknown seeding %d", int(pr.Seeding))
+	}
+	switch {
+	case pr.PopSize < 2:
+		return fmt.Errorf("gra: population size %d < 2", pr.PopSize)
+	case pr.Generations < 0:
+		return fmt.Errorf("gra: negative generation count %d", pr.Generations)
+	case pr.CrossoverRate < 0 || pr.CrossoverRate > 1:
+		return fmt.Errorf("gra: crossover rate %v outside [0,1]", pr.CrossoverRate)
+	case pr.MutationRate < 0 || pr.MutationRate > 1:
+		return fmt.Errorf("gra: mutation rate %v outside [0,1]", pr.MutationRate)
+	case pr.EliteEvery < 1:
+		return fmt.Errorf("gra: elite period %d < 1", pr.EliteEvery)
+	case pr.Patience < 0:
+		return fmt.Errorf("gra: negative patience %d", pr.Patience)
+	}
+	return nil
+}
+
+// GenStats records per-generation progress.
+type GenStats struct {
+	Gen         int
+	BestFitness float64
+	MeanFitness float64
+	BestCost    int64
+}
+
+// Result is the outcome of a GRA run.
+type Result struct {
+	// Scheme is the best replication scheme found.
+	Scheme *core.Scheme
+	// Cost is its NTC, and Fitness the normalised saving (D′−D)/D′.
+	Cost    int64
+	Fitness float64
+	// History holds per-generation statistics.
+	History []GenStats
+	// Evaluations counts cost-model evaluations, the dominant work unit.
+	Evaluations int
+	// Elapsed is the wall-clock duration including seeding.
+	Elapsed time.Duration
+	// Population is the final population's chromosomes, exposed because
+	// AGRA transcribes per-object schemes into them.
+	Population []*bitset.Set
+}
+
+// Run executes GRA with the paper's SRA-based population seeding (or the
+// ablation seeding selected in params).
+func Run(p *core.Problem, params Params) (*Result, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	params = params.normalized()
+	rng := xrand.New(params.Seed)
+	start := time.Now()
+	var init []*bitset.Set
+	switch params.Seeding {
+	case SeedingSRA:
+		init = SeedSRA(p, params.PopSize, rng)
+	case SeedingRandom:
+		init = SeedRandom(p, params.PopSize, rng)
+	}
+	res, err := evolve(p, params, init, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunWithPopulation executes GRA from a caller-supplied initial population
+// (AGRA transcription, "Current + GRA" policies). Chromosomes must be valid
+// site-major bit matrices; fewer than PopSize are padded with perturbed
+// clones, extras are truncated.
+func RunWithPopulation(p *core.Problem, params Params, init []*bitset.Set) (*Result, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if len(init) == 0 {
+		return nil, fmt.Errorf("gra: empty initial population")
+	}
+	params = params.normalized()
+	rng := xrand.New(params.Seed)
+	start := time.Now()
+
+	pop := make([]*bitset.Set, 0, params.PopSize)
+	for _, bits := range init {
+		if bits.Len() != p.Sites()*p.Objects() {
+			return nil, fmt.Errorf("gra: chromosome length %d, want %d", bits.Len(), p.Sites()*p.Objects())
+		}
+		if len(pop) == params.PopSize {
+			break
+		}
+		pop = append(pop, bits.Clone())
+	}
+	for len(pop) < params.PopSize {
+		src := pop[rng.Intn(len(pop))]
+		s, err := core.SchemeFromBits(p, src)
+		if err != nil {
+			return nil, fmt.Errorf("gra: invalid seed chromosome: %w", err)
+		}
+		Perturb(s, 0.25, rng)
+		pop = append(pop, s.Bits())
+	}
+
+	res, err := evolve(p, params, pop, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// SeedSRA builds the paper's initial population: PopSize SRA runs with
+// random site orders, the second half perturbed on a quarter of their bits
+// while keeping both DRP constraints intact.
+func SeedSRA(p *core.Problem, popSize int, rng *xrand.Source) []*bitset.Set {
+	pop := make([]*bitset.Set, popSize)
+	for c := 0; c < popSize; c++ {
+		res := sra.Run(p, sra.Options{RandomOrder: true, RNG: rng.Split()})
+		if c >= popSize/2 {
+			Perturb(res.Scheme, 0.25, rng)
+		}
+		pop[c] = res.Scheme.Bits()
+	}
+	return pop
+}
+
+// SeedRandom builds an initial population of random valid schemes: each
+// chromosome starts from the primaries-only allocation and receives random
+// placements until several consecutive attempts fail. It is the ablation
+// counterpart of SeedSRA.
+func SeedRandom(p *core.Problem, popSize int, rng *xrand.Source) []*bitset.Set {
+	pop := make([]*bitset.Set, popSize)
+	for c := range pop {
+		s := core.NewScheme(p)
+		failures := 0
+		limit := 2 * (p.Sites() + p.Objects())
+		for failures < limit {
+			if s.Add(rng.Intn(p.Sites()), rng.Intn(p.Objects())) != nil {
+				failures++
+			} else {
+				failures = 0
+			}
+		}
+		pop[c] = s.Bits()
+	}
+	return pop
+}
+
+// Perturb randomly toggles fraction·M·N placements of the scheme, skipping
+// any toggle that would drop a primary copy or overflow a site. It provides
+// the population diversity the paper injects at seeding time.
+func Perturb(s *core.Scheme, fraction float64, rng *xrand.Source) {
+	p := s.Problem()
+	m, n := p.Sites(), p.Objects()
+	toggles := int(fraction * float64(m*n))
+	for t := 0; t < toggles; t++ {
+		i, k := rng.Intn(m), rng.Intn(n)
+		if s.Has(i, k) {
+			_ = s.Remove(i, k) // ErrPrimary: keep the bit
+		} else {
+			_ = s.Add(i, k) // ErrCapacity: keep the bit clear
+		}
+	}
+}
+
+// evolve runs the generational loop over an initial population of bitsets.
+func evolve(p *core.Problem, params Params, init []*bitset.Set, rng *xrand.Source) (*Result, error) {
+	ev := newEvaluator(p)
+	res := &Result{}
+
+	pop := make([]ga.Individual, len(init))
+	for i, bits := range init {
+		pop[i] = ev.evaluate(bits)
+	}
+	res.Evaluations += len(pop)
+
+	elite := pop[ga.Best(pop)].Clone()
+	record := func(gen int) {
+		res.History = append(res.History, GenStats{
+			Gen:         gen,
+			BestFitness: elite.Fitness,
+			MeanFitness: ga.MeanFitness(pop),
+			BestCost:    elite.Cost,
+		})
+	}
+	record(0)
+
+	stale := 0
+	for gen := 1; gen <= params.Generations; gen++ {
+		prevElite := elite.Fitness
+		switch params.Selection {
+		case SelectionSGA:
+			pop = ev.sgaGeneration(pop, params, rng)
+			res.Evaluations += len(pop)
+			if b := ga.Best(pop); pop[b].Fitness > elite.Fitness {
+				elite = pop[b].Clone()
+			}
+		default: // SelectionMuPlusLambda
+			crossPop := ev.crossoverSubpop(pop, params, rng)
+			mutPop := ev.mutationSubpop(pop, params, rng)
+			res.Evaluations += len(crossPop) + len(mutPop)
+
+			// (µ+λ): parents and both offspring subpopulations compete for
+			// the Np slots of the next generation.
+			pool := make([]ga.Individual, 0, len(pop)+len(crossPop)+len(mutPop))
+			pool = append(pool, pop...)
+			pool = append(pool, crossPop...)
+			pool = append(pool, mutPop...)
+
+			if b := ga.Best(pool); pool[b].Fitness > elite.Fitness {
+				elite = pool[b].Clone()
+			}
+			pop = ga.StochasticRemainder(pool, params.PopSize, rng)
+		}
+
+		// Elitism with delayed re-injection to avoid premature convergence.
+		if gen%params.EliteEvery == 0 {
+			pop[ga.Worst(pop)] = elite.Clone()
+		}
+		record(gen)
+
+		if params.Patience > 0 {
+			if elite.Fitness > prevElite {
+				stale = 0
+			} else if stale++; stale >= params.Patience {
+				break
+			}
+		}
+	}
+
+	scheme, err := core.SchemeFromBits(p, elite.Bits)
+	if err != nil {
+		return nil, fmt.Errorf("gra: elite chromosome invalid: %w", err)
+	}
+	res.Scheme = scheme
+	res.Cost = elite.Cost
+	res.Fitness = elite.Fitness
+	res.Population = make([]*bitset.Set, len(pop))
+	for i := range pop {
+		res.Population[i] = pop[i].Bits.Clone()
+	}
+	return res, nil
+}

@@ -1,0 +1,225 @@
+package gra
+
+import (
+	"testing"
+
+	"drp/internal/core"
+	"drp/internal/sra"
+	"drp/internal/workload"
+	"drp/internal/xrand"
+)
+
+func gen(t testing.TB, m, n int, u, c float64, seed uint64) *core.Problem {
+	t.Helper()
+	p, err := workload.Generate(workload.NewSpec(m, n, u, c), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// smallParams keeps unit-test runtimes down; experiment code uses
+// DefaultParams.
+func smallParams(seed uint64) Params {
+	p := DefaultParams()
+	p.PopSize = 12
+	p.Generations = 15
+	p.Seed = seed
+	return p
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.PopSize != 50 || p.Generations != 80 || p.CrossoverRate != 0.9 || p.MutationRate != 0.01 || p.EliteEvery != 5 {
+		t.Fatalf("defaults %+v do not match the paper", p)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	p := gen(t, 5, 5, 0.05, 0.15, 1)
+	bad := []Params{
+		{PopSize: 1, Generations: 1, CrossoverRate: 0.5, MutationRate: 0.01, EliteEvery: 5},
+		{PopSize: 10, Generations: -1, CrossoverRate: 0.5, MutationRate: 0.01, EliteEvery: 5},
+		{PopSize: 10, Generations: 1, CrossoverRate: 1.5, MutationRate: 0.01, EliteEvery: 5},
+		{PopSize: 10, Generations: 1, CrossoverRate: 0.5, MutationRate: -0.1, EliteEvery: 5},
+		{PopSize: 10, Generations: 1, CrossoverRate: 0.5, MutationRate: 0.01, EliteEvery: 0},
+	}
+	for i, params := range bad {
+		if _, err := Run(p, params); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestRunProducesValidScheme(t *testing.T) {
+	p := gen(t, 10, 15, 0.05, 0.15, 2)
+	res, err := Run(p, smallParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatalf("invalid scheme: %v", err)
+	}
+	if res.Cost != res.Scheme.Cost() {
+		t.Fatalf("reported cost %d != scheme cost %d", res.Cost, res.Scheme.Cost())
+	}
+	if res.Fitness < 0 || res.Fitness > 1 {
+		t.Fatalf("fitness %v outside [0,1]", res.Fitness)
+	}
+	if len(res.Population) != smallParams(7).PopSize {
+		t.Fatalf("final population size %d", len(res.Population))
+	}
+	if res.Evaluations == 0 || res.Elapsed <= 0 {
+		t.Fatal("run accounting missing")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := gen(t, 8, 10, 0.05, 0.15, 3)
+	a, err := Run(p, smallParams(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, smallParams(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || !a.Scheme.Equal(b.Scheme) {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestRunAtLeastAsGoodAsSRA(t *testing.T) {
+	// GRA is seeded with SRA solutions and is elitist, so it can never end
+	// below the best seed.
+	for seed := uint64(1); seed <= 4; seed++ {
+		p := gen(t, 12, 15, 0.10, 0.15, seed)
+		sraRes := sra.Run(p, sra.Options{})
+		graRes, err := Run(p, smallParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare against round-robin SRA; GRA's random-order seeds may
+		// differ slightly, so allow equality with the best of both.
+		if graRes.Cost > sraRes.Scheme.Cost() {
+			slack := float64(graRes.Cost) / float64(sraRes.Scheme.Cost())
+			if slack > 1.02 {
+				t.Fatalf("seed %d: GRA cost %d much worse than SRA %d", seed, graRes.Cost, sraRes.Scheme.Cost())
+			}
+		}
+	}
+}
+
+func TestHistoryMonotoneBestFitness(t *testing.T) {
+	p := gen(t, 10, 12, 0.05, 0.15, 5)
+	res, err := Run(p, smallParams(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != smallParams(13).Generations+1 {
+		t.Fatalf("history length %d", len(res.History))
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].BestFitness < res.History[i-1].BestFitness {
+			t.Fatalf("best fitness regressed at generation %d", i)
+		}
+	}
+	if res.History[len(res.History)-1].BestFitness != res.Fitness {
+		t.Fatal("final history entry does not match result fitness")
+	}
+}
+
+func TestRunWithPopulation(t *testing.T) {
+	p := gen(t, 8, 10, 0.05, 0.15, 6)
+	cur := core.NewScheme(p)
+	init := SeedSRA(p, 4, xrand.New(1))
+	init = append(init, cur.Bits())
+	params := smallParams(17)
+	res, err := RunWithPopulation(p, params, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Elitism guarantees we never fall below the best seed chromosome.
+	ev := core.NewEvaluator(p)
+	bestSeed := ev.Cost(init[0])
+	for _, bits := range init[1:] {
+		if c := ev.Cost(bits); c < bestSeed {
+			bestSeed = c
+		}
+	}
+	if res.Cost > bestSeed {
+		t.Fatalf("result cost %d worse than best seed %d", res.Cost, bestSeed)
+	}
+}
+
+func TestRunWithPopulationRejectsBadInput(t *testing.T) {
+	p := gen(t, 5, 5, 0.05, 0.15, 7)
+	if _, err := RunWithPopulation(p, smallParams(1), nil); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	wrong := SeedSRA(gen(t, 6, 5, 0.05, 0.15, 8), 2, xrand.New(2))
+	if _, err := RunWithPopulation(p, smallParams(1), wrong); err == nil {
+		t.Fatal("wrong-length chromosomes accepted")
+	}
+}
+
+func TestSeedSRAProducesValidChromosomes(t *testing.T) {
+	p := gen(t, 10, 12, 0.05, 0.15, 9)
+	pop := SeedSRA(p, 10, xrand.New(3))
+	if len(pop) != 10 {
+		t.Fatalf("seed population size %d", len(pop))
+	}
+	for i, bits := range pop {
+		if _, err := core.SchemeFromBits(p, bits); err != nil {
+			t.Fatalf("seed chromosome %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestPerturbKeepsValidity(t *testing.T) {
+	p := gen(t, 10, 12, 0.05, 0.15, 10)
+	for trial := uint64(0); trial < 5; trial++ {
+		s := core.NewScheme(p)
+		Perturb(s, 0.25, xrand.New(trial))
+		if err := s.Validate(); err != nil {
+			t.Fatalf("perturbed scheme invalid: %v", err)
+		}
+	}
+}
+
+func TestZeroGenerationsReturnsBestSeed(t *testing.T) {
+	p := gen(t, 8, 10, 0.05, 0.15, 11)
+	params := smallParams(19)
+	params.Generations = 0
+	res, err := Run(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 1 {
+		t.Fatalf("history length %d, want 1", len(res.History))
+	}
+}
+
+func TestCrossoverRepairChecksEveryGeneration(t *testing.T) {
+	// Run with aggressive crossover and mutation on a tight-capacity
+	// problem; every chromosome of the final population must be valid.
+	p := gen(t, 10, 15, 0.05, 0.08, 12)
+	params := smallParams(23)
+	params.CrossoverRate = 1.0
+	params.MutationRate = 0.05
+	res, err := Run(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bits := range res.Population {
+		if _, err := core.SchemeFromBits(p, bits); err != nil {
+			t.Fatalf("final chromosome %d invalid: %v", i, err)
+		}
+	}
+}

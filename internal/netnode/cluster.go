@@ -1,0 +1,133 @@
+package netnode
+
+import (
+	"fmt"
+
+	"drp/internal/core"
+)
+
+// Cluster manages one node per site on the loopback interface and plays
+// the coordinator (monitor) role: deploying replication schemes and
+// driving traffic.
+type Cluster struct {
+	p       *core.Problem
+	nodes   []*Node
+	current *core.Scheme
+}
+
+// StartLocal boots one node per site on 127.0.0.1 ephemeral ports, wires
+// the address tables and deploys the primaries-only scheme.
+func StartLocal(p *core.Problem) (*Cluster, error) {
+	c := &Cluster{p: p, current: core.NewScheme(p)}
+	addrs := make([]string, p.Sites())
+	for i := 0; i < p.Sites(); i++ {
+		node, err := Listen(p, i, "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+		addrs[i] = node.Addr()
+	}
+	for _, node := range c.nodes {
+		node.SetPeers(addrs)
+	}
+	return c, nil
+}
+
+// Node returns the node for site i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Scheme returns the currently deployed scheme.
+func (c *Cluster) Scheme() *core.Scheme { return c.current.Clone() }
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for _, node := range c.nodes {
+		if node != nil {
+			_ = node.Close()
+		}
+	}
+}
+
+// Deploy diffs the current scheme against next and realises it: placing
+// and dropping replicas, refreshing each primary's replicator registry and
+// every site's nearest-replica records. Returns the migration transfer
+// cost (each new replica fetched from the nearest prior holder).
+func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
+	migration := c.current.MigrationCost(next)
+	added, removed := c.current.Diff(next)
+	for _, pl := range added {
+		// New replicas start at the primary's current version: placing a
+		// replica is a fetch of the latest copy.
+		version := c.nodes[c.p.Primary(pl.Object)].Version(pl.Object)
+		if err := c.command(pl.Site, message{Op: "place", Object: pl.Object, Version: version}); err != nil {
+			return 0, err
+		}
+	}
+	for _, pl := range removed {
+		if err := c.command(pl.Site, message{Op: "drop", Object: pl.Object}); err != nil {
+			return 0, err
+		}
+	}
+	// Refresh primary registries and nearest tables for every object whose
+	// replicator set changed.
+	touched := make(map[int]bool)
+	for _, pl := range added {
+		touched[pl.Object] = true
+	}
+	for _, pl := range removed {
+		touched[pl.Object] = true
+	}
+	nearest := core.NewNearestTable(next)
+	for k := range touched {
+		if err := c.command(c.p.Primary(k), message{Op: "registry", Object: k, Sites: next.Replicators(k)}); err != nil {
+			return 0, err
+		}
+		for i := 0; i < c.p.Sites(); i++ {
+			if err := c.command(i, message{Op: "nearest", Object: k, Site: nearest.Nearest(i, k)}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	c.current = next.Clone()
+	return migration, nil
+}
+
+func (c *Cluster) command(site int, msg message) error {
+	resp, err := call(c.nodes[site].Addr(), msg)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("netnode: site %d rejected %s: %s", site, msg.Op, resp.Err)
+	}
+	return nil
+}
+
+// DriveTraffic issues every read and write of the problem's measurement
+// period through the TCP cluster and returns the total accounted transfer
+// cost. With correct nearest tables this equals eq. 4's D for the deployed
+// scheme.
+func (c *Cluster) DriveTraffic() (int64, error) {
+	var total int64
+	for i := 0; i < c.p.Sites(); i++ {
+		for k := 0; k < c.p.Objects(); k++ {
+			for r := int64(0); r < c.p.Reads(i, k); r++ {
+				cost, err := c.nodes[i].Read(k)
+				if err != nil {
+					return 0, fmt.Errorf("read site %d object %d: %w", i, k, err)
+				}
+				total += cost
+			}
+			for w := int64(0); w < c.p.Writes(i, k); w++ {
+				cost, err := c.nodes[i].Write(k)
+				if err != nil {
+					return 0, fmt.Errorf("write site %d object %d: %w", i, k, err)
+				}
+				total += cost
+			}
+		}
+	}
+	return total, nil
+}

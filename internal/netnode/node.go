@@ -1,0 +1,400 @@
+// Package netnode runs the paper's replication policy over real TCP
+// sockets: every site is a server holding object replicas, reads are
+// forwarded to the requester's nearest replica, writes ship to the primary
+// copy which broadcasts the new version to the other replicators, and a
+// coordinator (the paper's monitor site) deploys replication schemes by
+// diffing placements into place/drop commands.
+//
+// Object payloads are not materialised — a transfer of object k between
+// sites i and j is accounted as o_k·C(i,j) transfer-cost units, exactly as
+// the cost model counts it — but every hop is a real network round trip on
+// the loopback interface, so the protocol, the per-site state machines and
+// their locking are exercised for real. With a full measurement period of
+// traffic the cluster's accounted NTC equals eq. 4's D exactly; the tests
+// assert it.
+package netnode
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"drp/internal/core"
+)
+
+// message is the wire format: one JSON object per line.
+type message struct {
+	Op      string `json:"op"`
+	Object  int    `json:"obj"`
+	From    int    `json:"from,omitempty"`
+	Site    int    `json:"site,omitempty"`
+	Sites   []int  `json:"sites,omitempty"`
+	Version int64  `json:"version,omitempty"`
+}
+
+// reply is the wire response.
+type reply struct {
+	OK      bool   `json:"ok"`
+	Err     string `json:"err,omitempty"`
+	Cost    int64  `json:"cost,omitempty"`
+	Holds   bool   `json:"holds,omitempty"`
+	Version int64  `json:"version,omitempty"`
+}
+
+// Node is one site: a TCP server plus the site-local replication state the
+// paper prescribes (its replica holdings, the nearest-replica record per
+// object, and — for objects primaried here — the full replication scheme).
+type Node struct {
+	p    *core.Problem
+	site int
+	ln   net.Listener
+
+	mu       sync.Mutex
+	holds    map[int]bool
+	versions map[int]int64 // version of each locally held replica
+	nearest  []int         // SN_k(site): where this site sends reads for k
+	registry [][]int       // for objects primaried here: the replicator list
+	peers    []string
+	ntc      int64 // transfer cost charged to this node's activities
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// Listen starts a node for the given site on addr (use "127.0.0.1:0" for
+// an ephemeral port). The node initially holds exactly the objects
+// primaried at it; peers must be wired with SetPeers before serving
+// remote traffic.
+func Listen(p *core.Problem, site int, addr string) (*Node, error) {
+	if site < 0 || site >= p.Sites() {
+		return nil, fmt.Errorf("netnode: site %d out of range", site)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netnode: listen: %w", err)
+	}
+	n := &Node{
+		p:        p,
+		site:     site,
+		ln:       ln,
+		holds:    make(map[int]bool),
+		versions: make(map[int]int64),
+		nearest:  make([]int, p.Objects()),
+		registry: make([][]int, p.Objects()),
+		closed:   make(chan struct{}),
+	}
+	for k := 0; k < p.Objects(); k++ {
+		sp := p.Primary(k)
+		n.nearest[k] = sp
+		if sp == site {
+			n.holds[k] = true
+			n.registry[k] = []int{site}
+		}
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Site returns the node's site index.
+func (n *Node) Site() int { return n.site }
+
+// SetPeers wires the full address table (indexed by site).
+func (n *Node) SetPeers(addrs []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = append([]string(nil), addrs...)
+}
+
+// Version returns the local version of object k (0 if not held). Versions
+// count the writes the primary has serialised; the primary-copy protocol
+// guarantees replicas converge to the primary's version once broadcasts
+// complete.
+func (n *Node) Version(k int) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.versions[k]
+}
+
+// NTC returns the transfer cost accounted to this node so far.
+func (n *Node) NTC() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ntc
+}
+
+// Holds reports whether the node currently stores object k.
+func (n *Node) Holds(k int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.holds[k]
+}
+
+// Close shuts the listener down and waits for in-flight handlers.
+func (n *Node) Close() error {
+	close(n.closed)
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serve(conn)
+		}()
+	}
+}
+
+// serve handles one connection: a sequence of JSON-line requests.
+func (n *Node) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var msg message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		resp := n.handle(msg)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) handle(msg message) reply {
+	if msg.Object < 0 || msg.Object >= n.p.Objects() {
+		return reply{Err: fmt.Sprintf("object %d out of range", msg.Object)}
+	}
+	switch msg.Op {
+	case "read":
+		// A remote site reads from us; we must hold a replica. The reply
+		// carries the replica's version so staleness is observable.
+		n.mu.Lock()
+		holds := n.holds[msg.Object]
+		version := n.versions[msg.Object]
+		n.mu.Unlock()
+		if !holds {
+			return reply{Err: fmt.Sprintf("site %d does not hold object %d", n.site, msg.Object)}
+		}
+		return reply{OK: true, Holds: true, Version: version}
+
+	case "update":
+		// A writer ships a new version to us — the primary — and we
+		// broadcast it to every other replicator.
+		if n.p.Primary(msg.Object) != n.site {
+			return reply{Err: fmt.Sprintf("site %d is not the primary of object %d", n.site, msg.Object)}
+		}
+		n.mu.Lock()
+		n.versions[msg.Object]++
+		version := n.versions[msg.Object]
+		n.mu.Unlock()
+		cost, err := n.broadcast(msg.Object, msg.From, version)
+		if err != nil {
+			return reply{Err: err.Error()}
+		}
+		return reply{OK: true, Cost: cost, Version: version}
+
+	case "sync":
+		// The primary pushes a fresh version of an object we replicate.
+		n.mu.Lock()
+		holds := n.holds[msg.Object]
+		if holds && msg.Version > n.versions[msg.Object] {
+			n.versions[msg.Object] = msg.Version
+		}
+		n.mu.Unlock()
+		if !holds {
+			return reply{Err: fmt.Sprintf("sync for object %d not replicated at site %d", msg.Object, n.site)}
+		}
+		return reply{OK: true}
+
+	case "place":
+		n.mu.Lock()
+		n.holds[msg.Object] = true
+		n.versions[msg.Object] = msg.Version
+		n.nearest[msg.Object] = n.site
+		n.mu.Unlock()
+		return reply{OK: true}
+
+	case "drop":
+		if n.p.Primary(msg.Object) == n.site {
+			return reply{Err: "cannot drop a primary copy"}
+		}
+		n.mu.Lock()
+		delete(n.holds, msg.Object)
+		delete(n.versions, msg.Object)
+		n.mu.Unlock()
+		return reply{OK: true}
+
+	case "version":
+		n.mu.Lock()
+		version := n.versions[msg.Object]
+		holds := n.holds[msg.Object]
+		n.mu.Unlock()
+		if !holds {
+			return reply{Err: fmt.Sprintf("site %d does not hold object %d", n.site, msg.Object)}
+		}
+		return reply{OK: true, Version: version}
+
+	case "registry":
+		// The coordinator updates the primary's replicator list.
+		if n.p.Primary(msg.Object) != n.site {
+			return reply{Err: "registry update sent to a non-primary"}
+		}
+		n.mu.Lock()
+		n.registry[msg.Object] = append([]int(nil), msg.Sites...)
+		n.mu.Unlock()
+		return reply{OK: true}
+
+	case "nearest":
+		if msg.Site < 0 || msg.Site >= n.p.Sites() {
+			return reply{Err: "nearest site out of range"}
+		}
+		n.mu.Lock()
+		n.nearest[msg.Object] = msg.Site
+		n.mu.Unlock()
+		return reply{OK: true}
+
+	default:
+		return reply{Err: fmt.Sprintf("unknown op %q", msg.Op)}
+	}
+}
+
+// broadcast pushes the updated object to every replicator except the
+// writer and the primary itself, returning the transfer cost of the
+// fan-out.
+func (n *Node) broadcast(obj, writer int, version int64) (int64, error) {
+	n.mu.Lock()
+	targets := append([]int(nil), n.registry[obj]...)
+	peers := n.peers
+	n.mu.Unlock()
+	var cost int64
+	for _, j := range targets {
+		if j == writer || j == n.site {
+			continue
+		}
+		if j < 0 || j >= len(peers) {
+			return 0, fmt.Errorf("replicator %d has no known address", j)
+		}
+		resp, err := call(peers[j], message{Op: "sync", Object: obj, Version: version})
+		if err != nil {
+			return 0, fmt.Errorf("sync to site %d: %w", j, err)
+		}
+		if !resp.OK {
+			return 0, errors.New(resp.Err)
+		}
+		cost += n.p.Size(obj) * n.p.Cost(n.site, j)
+	}
+	return cost, nil
+}
+
+// Read performs a client read from this node: served locally if a replica
+// is held, otherwise fetched from the recorded nearest replica over TCP.
+// Returns the transfer cost incurred.
+func (n *Node) Read(obj int) (int64, error) {
+	n.mu.Lock()
+	local := n.holds[obj]
+	target := n.nearest[obj]
+	peers := n.peers
+	n.mu.Unlock()
+	if local {
+		return 0, nil
+	}
+	if target < 0 || target >= len(peers) {
+		return 0, fmt.Errorf("netnode: no address for nearest site %d", target)
+	}
+	resp, err := call(peers[target], message{Op: "read", Object: obj})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, errors.New(resp.Err)
+	}
+	cost := n.p.Size(obj) * n.p.Cost(n.site, target)
+	n.mu.Lock()
+	n.ntc += cost
+	n.mu.Unlock()
+	return cost, nil
+}
+
+// Write performs a client write from this node: the new version ships to
+// the primary, which broadcasts it to the other replicators. Returns the
+// total transfer cost (shipping plus broadcast).
+func (n *Node) Write(obj int) (int64, error) {
+	sp := n.p.Primary(obj)
+	var cost int64
+	if sp == n.site {
+		// Local primary: no shipping; bump the version and broadcast.
+		n.mu.Lock()
+		n.versions[obj]++
+		version := n.versions[obj]
+		n.mu.Unlock()
+		bcast, err := n.broadcast(obj, n.site, version)
+		if err != nil {
+			return 0, err
+		}
+		cost = bcast
+	} else {
+		n.mu.Lock()
+		peers := n.peers
+		n.mu.Unlock()
+		if sp >= len(peers) {
+			return 0, fmt.Errorf("netnode: no address for primary site %d", sp)
+		}
+		resp, err := call(peers[sp], message{Op: "update", Object: obj, From: n.site})
+		if err != nil {
+			return 0, err
+		}
+		if !resp.OK {
+			return 0, errors.New(resp.Err)
+		}
+		cost = n.p.Size(obj)*n.p.Cost(n.site, sp) + resp.Cost
+		// The broadcast skips the writer (it produced the new version), so
+		// a writer that is itself a replicator adopts the version locally.
+		n.mu.Lock()
+		if n.holds[obj] && resp.Version > n.versions[obj] {
+			n.versions[obj] = resp.Version
+		}
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	n.ntc += cost
+	n.mu.Unlock()
+	return cost, nil
+}
+
+// call dials addr, sends one request and reads one reply.
+func call(addr string, msg message) (reply, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return reply{}, fmt.Errorf("netnode: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(msg); err != nil {
+		return reply{}, fmt.Errorf("netnode: send: %w", err)
+	}
+	var resp reply
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return reply{}, fmt.Errorf("netnode: recv: %w", err)
+	}
+	return resp, nil
+}

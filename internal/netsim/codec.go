@@ -1,0 +1,36 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// topologyJSON is the wire form of a Topology.
+type topologyJSON struct {
+	Sites int    `json:"sites"`
+	Links []Link `json:"links"`
+}
+
+// Encode serialises the topology as JSON.
+func (t *Topology) Encode(w io.Writer) error {
+	return json.NewEncoder(w).Encode(topologyJSON{Sites: t.Sites, Links: t.Links})
+}
+
+// ReadTopology parses a JSON-encoded topology and validates every link.
+func ReadTopology(r io.Reader) (*Topology, error) {
+	var tj topologyJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("netsim: decode topology: %w", err)
+	}
+	if tj.Sites <= 0 {
+		return nil, fmt.Errorf("netsim: topology needs at least one site, got %d", tj.Sites)
+	}
+	t := NewTopology(tj.Sites)
+	for _, l := range tj.Links {
+		if err := t.AddLink(l.From, l.To, l.Cost); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,101 @@
+// Package netsim models the communication network underneath the data
+// replication problem: weighted site-to-site graphs, topology generators and
+// all-pairs shortest-path distance matrices.
+//
+// The paper assumes C(i,j) — the per-unit transfer cost between sites i and
+// j — is the cumulative cost of the cheapest path and is known a priori.
+// This package produces exactly that: a Topology (explicit links) is reduced
+// to a DistMatrix by an all-pairs shortest-path pass, and the DistMatrix is
+// what the replication algorithms consume.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Link is a bidirectional edge between two sites with a positive per-unit
+// transfer cost.
+type Link struct {
+	From, To int
+	Cost     int64
+}
+
+// Topology is an undirected weighted graph over Sites sites.
+type Topology struct {
+	Sites int
+	Links []Link
+}
+
+// NewTopology returns an empty topology over n sites.
+func NewTopology(n int) *Topology {
+	if n <= 0 {
+		panic("netsim: topology needs at least one site")
+	}
+	return &Topology{Sites: n}
+}
+
+// AddLink appends a bidirectional link. Costs must be positive; endpoints
+// must be distinct valid site indices.
+func (t *Topology) AddLink(from, to int, cost int64) error {
+	switch {
+	case from < 0 || from >= t.Sites || to < 0 || to >= t.Sites:
+		return fmt.Errorf("netsim: link %d-%d out of range for %d sites", from, to, t.Sites)
+	case from == to:
+		return fmt.Errorf("netsim: self-link at site %d", from)
+	case cost <= 0:
+		return fmt.Errorf("netsim: non-positive cost %d on link %d-%d", cost, from, to)
+	}
+	t.Links = append(t.Links, Link{From: from, To: to, Cost: cost})
+	return nil
+}
+
+// Degree returns the number of links incident to each site.
+func (t *Topology) Degree() []int {
+	deg := make([]int, t.Sites)
+	for _, l := range t.Links {
+		deg[l.From]++
+		deg[l.To]++
+	}
+	return deg
+}
+
+// ErrDisconnected is returned when a topology does not connect every pair of
+// sites, so no finite distance matrix exists.
+var ErrDisconnected = errors.New("netsim: topology is not connected")
+
+// adjacency builds adjacency lists, keeping the cheapest parallel edge.
+func (t *Topology) adjacency() [][]neighbor {
+	adj := make([][]neighbor, t.Sites)
+	for _, l := range t.Links {
+		adj[l.From] = append(adj[l.From], neighbor{site: l.To, cost: l.Cost})
+		adj[l.To] = append(adj[l.To], neighbor{site: l.From, cost: l.Cost})
+	}
+	return adj
+}
+
+type neighbor struct {
+	site int
+	cost int64
+}
+
+// Connected reports whether every site can reach every other site.
+func (t *Topology) Connected() bool {
+	adj := t.adjacency()
+	seen := make([]bool, t.Sites)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[v] {
+			if !seen[nb.site] {
+				seen[nb.site] = true
+				count++
+				stack = append(stack, nb.site)
+			}
+		}
+	}
+	return count == t.Sites
+}

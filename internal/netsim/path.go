@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Path is a site sequence from Sites[0] to Sites[len-1] with its total
+// per-unit transfer cost.
+type Path struct {
+	Sites []int
+	Cost  int64
+}
+
+// ShortestPath returns one cheapest path between from and to (ties broken
+// toward lower site indices, deterministically). The DistMatrix only keeps
+// costs; route inspection — e.g. to report which links a replica migration
+// crosses — needs the explicit path.
+func (t *Topology) ShortestPath(from, to int) (Path, error) {
+	if from < 0 || from >= t.Sites || to < 0 || to >= t.Sites {
+		return Path{}, fmt.Errorf("netsim: path endpoints %d-%d out of range", from, to)
+	}
+	if from == to {
+		return Path{Sites: []int{from}}, nil
+	}
+	adj := t.adjacency()
+	dist := make([]int64, t.Sites)
+	prev := make([]int, t.Sites)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[from] = 0
+	q := pq{{site: from}}
+	for len(q) > 0 {
+		item := heap.Pop(&q).(pqItem)
+		if item.dist > dist[item.site] {
+			continue
+		}
+		for _, nb := range adj[item.site] {
+			v := item.dist + nb.cost
+			if v < dist[nb.site] || (v == dist[nb.site] && prev[nb.site] >= 0 && item.site < prev[nb.site]) {
+				dist[nb.site] = v
+				prev[nb.site] = item.site
+				heap.Push(&q, pqItem{site: nb.site, dist: v})
+			}
+		}
+	}
+	if dist[to] >= inf {
+		return Path{}, ErrDisconnected
+	}
+	var rev []int
+	for at := to; at != -1; at = prev[at] {
+		rev = append(rev, at)
+	}
+	sites := make([]int, len(rev))
+	for i, s := range rev {
+		sites[len(rev)-1-i] = s
+	}
+	return Path{Sites: sites, Cost: dist[to]}, nil
+}

@@ -1,0 +1,155 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+
+	"drp/internal/xrand"
+)
+
+func TestShortestPathOnLine(t *testing.T) {
+	topo := line(2, 3, 4) // 0-1-2-3
+	path, err := topo.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Cost != 9 {
+		t.Fatalf("cost %d, want 9", path.Cost)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(path.Sites) != len(want) {
+		t.Fatalf("path %v", path.Sites)
+	}
+	for i, s := range want {
+		if path.Sites[i] != s {
+			t.Fatalf("path %v, want %v", path.Sites, want)
+		}
+	}
+}
+
+func TestShortestPathRoutesViaIntermediate(t *testing.T) {
+	topo := NewTopology(3)
+	for _, l := range []Link{{0, 1, 10}, {1, 2, 1}, {0, 2, 1}} {
+		if err := topo.AddLink(l.From, l.To, l.Cost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := topo.ShortestPath(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Cost != 2 || len(path.Sites) != 3 || path.Sites[1] != 2 {
+		t.Fatalf("path %v cost %d, want 0-2-1 cost 2", path.Sites, path.Cost)
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	topo := line(1)
+	path, err := topo.ShortestPath(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Cost != 0 || len(path.Sites) != 1 {
+		t.Fatalf("self path %v cost %d", path.Sites, path.Cost)
+	}
+}
+
+func TestShortestPathErrors(t *testing.T) {
+	topo := NewTopology(4)
+	if err := topo.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.ShortestPath(0, 9); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if _, err := topo.ShortestPath(0, 3); err == nil {
+		t.Fatal("disconnected pair produced a path")
+	}
+}
+
+func TestShortestPathCostMatchesDistanceMatrix(t *testing.T) {
+	rng := xrand.New(3)
+	topo := Random(12, 0.25, 1, 10, rng)
+	dm, err := topo.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for from := 0; from < 12; from++ {
+		for to := 0; to < 12; to++ {
+			path, err := topo.ShortestPath(from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if path.Cost != dm.At(from, to) {
+				t.Fatalf("path cost (%d,%d) = %d, matrix = %d", from, to, path.Cost, dm.At(from, to))
+			}
+			// The path must be a real walk over existing links with the
+			// claimed total cost.
+			var total int64
+			for i := 1; i < len(path.Sites); i++ {
+				total += linkCost(t, topo, path.Sites[i-1], path.Sites[i])
+			}
+			if total != path.Cost {
+				t.Fatalf("path %v claims %d, links sum to %d", path.Sites, path.Cost, total)
+			}
+		}
+	}
+}
+
+func linkCost(t *testing.T, topo *Topology, a, b int) int64 {
+	t.Helper()
+	best := int64(-1)
+	for _, l := range topo.Links {
+		if (l.From == a && l.To == b) || (l.From == b && l.To == a) {
+			if best < 0 || l.Cost < best {
+				best = l.Cost
+			}
+		}
+	}
+	if best < 0 {
+		t.Fatalf("path uses non-existent link %d-%d", a, b)
+	}
+	return best
+}
+
+func TestTopologyCodecRoundTrip(t *testing.T) {
+	topo := Random(8, 0.3, 1, 10, xrand.New(5))
+	var buf bytes.Buffer
+	if err := topo.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Sites != topo.Sites || len(loaded.Links) != len(topo.Links) {
+		t.Fatal("topology round-trip lost structure")
+	}
+	a, err := topo.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < topo.Sites; i++ {
+		for j := 0; j < topo.Sites; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatal("distances differ after round-trip")
+			}
+		}
+	}
+}
+
+func TestReadTopologyRejectsGarbage(t *testing.T) {
+	if _, err := ReadTopology(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTopology(bytes.NewReader([]byte(`{"sites":0}`))); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+	if _, err := ReadTopology(bytes.NewReader([]byte(`{"sites":2,"links":[{"From":0,"To":5,"Cost":1}]}`))); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+}

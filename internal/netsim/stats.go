@@ -1,0 +1,50 @@
+package netsim
+
+// Stats summarises a distance matrix for workload reports: how big the
+// network is in cost terms and how central each site sits.
+type Stats struct {
+	// Diameter is the largest pairwise cost; MeanDistance averages all
+	// off-diagonal pairs.
+	Diameter     int64
+	MeanDistance float64
+	// Eccentricity[i] is site i's distance to the farthest site; the
+	// radius is the smallest eccentricity and Center a site achieving it.
+	Eccentricity []int64
+	Radius       int64
+	Center       int
+}
+
+// Stats computes summary statistics of the matrix. A single-site network
+// yields zeros.
+func (m *DistMatrix) Stats() Stats {
+	st := Stats{Eccentricity: make([]int64, m.n)}
+	if m.n < 2 {
+		return st
+	}
+	var total int64
+	for i := 0; i < m.n; i++ {
+		var ecc int64
+		for j := 0; j < m.n; j++ {
+			d := m.At(i, j)
+			if d > ecc {
+				ecc = d
+			}
+			if i < j {
+				total += d
+			}
+		}
+		st.Eccentricity[i] = ecc
+		if ecc > st.Diameter {
+			st.Diameter = ecc
+		}
+	}
+	st.MeanDistance = float64(total) / float64(m.n*(m.n-1)/2)
+	st.Radius = st.Eccentricity[0]
+	for i, e := range st.Eccentricity {
+		if e < st.Radius {
+			st.Radius = e
+			st.Center = i
+		}
+	}
+	return st
+}

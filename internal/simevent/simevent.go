@@ -1,0 +1,100 @@
+// Package simevent is a minimal discrete-event simulation kernel: a
+// monotonic virtual clock and a time-ordered event queue. The cluster
+// simulator schedules request arrivals, epoch boundaries and failures on
+// it; nothing here knows about replication.
+package simevent
+
+import "container/heap"
+
+// Scheduler runs events in non-decreasing time order. Events scheduled at
+// equal times run in scheduling order (stable). The zero value is unusable;
+// use New.
+type Scheduler struct {
+	now   int64
+	queue eventHeap
+	seq   uint64
+}
+
+// New returns an empty scheduler starting at virtual time 0.
+func New() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() int64 { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past (t <
+// Now) panics: discrete-event time is monotonic and such a call is always a
+// simulation bug.
+func (s *Scheduler) At(t int64, fn func()) {
+	if t < s.now {
+		panic("simevent: scheduling into the past")
+	}
+	s.seq++
+	heap.Push(&s.queue, item{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay units after the current time.
+func (s *Scheduler) After(delay int64, fn func()) {
+	if delay < 0 {
+		panic("simevent: negative delay")
+	}
+	s.At(s.now+delay, fn)
+}
+
+// Step runs the next pending event, advancing the clock to its time.
+// Returns false if no events remain.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.queue).(item)
+	s.now = it.at
+	it.fn()
+	return true
+}
+
+// Run drains the queue (events may schedule further events).
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil processes events with time ≤ deadline, then advances the clock
+// to the deadline.
+func (s *Scheduler) RunUntil(deadline int64) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+type item struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,112 @@
+package simevent
+
+import (
+	"testing"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestEqualTimesAreFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	s := New()
+	var fired []int64
+	s.At(1, func() {
+		fired = append(fired, s.Now())
+		s.After(4, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 5 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for _, at := range []int64{1, 5, 9, 15} {
+		s.At(at, func() { count++ })
+	}
+	s.RunUntil(9)
+	if count != 3 {
+		t.Fatalf("%d events ran, want 3", count)
+	}
+	if s.Now() != 9 {
+		t.Fatalf("Now = %d, want 9", s.Now())
+	}
+	s.RunUntil(20)
+	if count != 4 || s.Now() != 20 {
+		t.Fatalf("after drain: count=%d Now=%d", count, s.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	s.At(1, func() {})
+	if !s.Step() || s.Step() {
+		t.Fatal("Step sequence broken")
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := New()
+	if s.Len() != 0 {
+		t.Fatal("fresh scheduler not empty")
+	}
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}

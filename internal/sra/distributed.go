@@ -1,0 +1,191 @@
+package sra
+
+import (
+	"time"
+
+	"drp/internal/core"
+)
+
+// This file implements the distributed version of SRA sketched at the end
+// of Section 3: the candidate lists L(i) live at their sites, the site list
+// LS at an elected leader. The leader circulates a token; the token holder
+// scans its local candidates against its local nearest-replica row and
+// nominates the best object, which the leader announces to every site so
+// they can update their SN fields — a broadcast per placement, exactly the
+// message the paper's step (11) requires.
+//
+// Every site runs as a goroutine exchanging typed messages over channels.
+// The computation is deterministic and produces the same scheme as the
+// centralized Run (the protocol serialises the same decision sequence);
+// the value of the exercise is the message accounting and the demonstration
+// that only O(M) protocol messages per placement are needed.
+
+// DistResult reports the outcome of the distributed protocol.
+type DistResult struct {
+	Scheme *core.Scheme
+	// Placements is the number of replicas created beyond the primaries.
+	Placements int
+	// Messages counts protocol messages: token passes, nominations,
+	// broadcast updates and acknowledgements.
+	Messages int
+	// Rounds counts token circulations.
+	Rounds  int
+	Elapsed time.Duration
+}
+
+// message types exchanged between leader and sites.
+type (
+	// tokenMsg asks a site to scan its candidates and nominate.
+	tokenMsg struct {
+		reply chan nomination
+	}
+	// nomination is the site's answer: its best candidate, if any, and
+	// whether its candidate list still has entries.
+	nomination struct {
+		object    int // -1 if none viable this round
+		listEmpty bool
+	}
+	// updateMsg announces a placement so sites refresh their SN rows.
+	updateMsg struct {
+		site, object int
+		ack          chan struct{}
+	}
+	// stopMsg shuts a site down.
+	stopMsg struct{}
+)
+
+// RunDistributed executes the token-passing SRA and returns the scheme
+// along with message accounting. The round-robin site order matches the
+// centralized algorithm, and so does the resulting scheme.
+func RunDistributed(p *core.Problem) *DistResult {
+	start := time.Now()
+	m := p.Sites()
+
+	inboxes := make([]chan interface{}, m)
+	for i := range inboxes {
+		inboxes[i] = make(chan interface{})
+		go siteLoop(p, i, inboxes[i])
+	}
+
+	res := &DistResult{}
+	scheme := core.NewScheme(p)
+
+	active := make([]int, 0, m)
+	for i := 0; i < m; i++ {
+		if p.Objects() > 0 {
+			active = append(active, i)
+		}
+	}
+	cursor := 0
+	for len(active) > 0 {
+		idx := cursor % len(active)
+		site := active[idx]
+		res.Rounds++
+
+		// Token to the site; it nominates its best local candidate.
+		reply := make(chan nomination)
+		inboxes[site] <- tokenMsg{reply: reply}
+		res.Messages++ // token
+		nom := <-reply
+		res.Messages++ // nomination
+
+		if nom.object >= 0 {
+			if err := scheme.Add(site, nom.object); err != nil {
+				panic("sra: distributed placement rejected: " + err.Error())
+			}
+			res.Placements++
+			// Broadcast the new replica so every site updates SN.
+			ack := make(chan struct{})
+			for j := 0; j < m; j++ {
+				inboxes[j] <- updateMsg{site: site, object: nom.object, ack: ack}
+			}
+			for j := 0; j < m; j++ {
+				<-ack
+			}
+			res.Messages += 2 * m // updates + acks
+		}
+
+		if nom.listEmpty {
+			active[idx] = active[len(active)-1]
+			active = active[:len(active)-1]
+		} else {
+			cursor = idx + 1
+		}
+	}
+	for i := 0; i < m; i++ {
+		inboxes[i] <- stopMsg{}
+	}
+
+	res.Scheme = scheme
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// siteLoop is one site's protocol handler: it owns the site's candidate
+// list, free capacity and nearest-replica distance row.
+func siteLoop(p *core.Problem, site int, inbox chan interface{}) {
+	n := p.Objects()
+	free := p.Capacity(site)
+	// Local SN row: distance to the nearest replica of each object. Only
+	// primaries exist at start.
+	snDist := make([]int64, n)
+	for k := 0; k < n; k++ {
+		snDist[k] = p.Cost(site, p.Primary(k))
+		if p.Primary(k) == site {
+			free -= p.Size(k)
+		}
+	}
+	candidates := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		if p.Primary(k) != site {
+			candidates = append(candidates, k)
+		}
+	}
+
+	for raw := range inbox {
+		switch msg := raw.(type) {
+		case tokenMsg:
+			bestObj, bestBenefit := -1, 0.0
+			w := 0
+			for _, k := range candidates {
+				benefit := p.Benefit(site, k, snDist[k])
+				if benefit <= 0 || p.Size(k) > free {
+					continue // prune permanently (benefit and capacity are monotone)
+				}
+				candidates[w] = k
+				w++
+				if benefit > bestBenefit {
+					bestBenefit, bestObj = benefit, k
+				}
+			}
+			candidates = candidates[:w]
+			if bestObj >= 0 {
+				// The nomination is accepted unconditionally by the leader,
+				// so account for it locally right away.
+				free -= p.Size(bestObj)
+				candidates = remove(candidates, bestObj)
+				snDist[bestObj] = 0
+			}
+			msg.reply <- nomination{object: bestObj, listEmpty: len(candidates) == 0}
+
+		case updateMsg:
+			if d := p.Cost(site, msg.site); d < snDist[msg.object] {
+				snDist[msg.object] = d
+			}
+			msg.ack <- struct{}{}
+
+		case stopMsg:
+			return
+		}
+	}
+}
+
+func remove(list []int, v int) []int {
+	for i, x := range list {
+		if x == v {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}

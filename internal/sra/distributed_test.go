@@ -1,0 +1,62 @@
+package sra
+
+import (
+	"testing"
+)
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		p := gen(t, 12, 18, 0.05, 0.15, seed)
+		central := Run(p, Options{})
+		dist := RunDistributed(p)
+		if !dist.Scheme.Equal(central.Scheme) {
+			t.Fatalf("seed %d: distributed scheme differs from centralized", seed)
+		}
+		if dist.Placements != central.Placements {
+			t.Fatalf("seed %d: placements %d != %d", seed, dist.Placements, central.Placements)
+		}
+	}
+}
+
+func TestDistributedMessageAccounting(t *testing.T) {
+	p := gen(t, 10, 15, 0.05, 0.15, 3)
+	res := RunDistributed(p)
+	// Every round is a token + a nomination; every placement adds a
+	// broadcast and acks (2·M messages).
+	want := 2*res.Rounds + 2*p.Sites()*res.Placements
+	if res.Messages != want {
+		t.Fatalf("messages = %d, want %d (rounds=%d placements=%d)", res.Messages, want, res.Rounds, res.Placements)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}
+
+func TestDistributedValidScheme(t *testing.T) {
+	p := gen(t, 15, 20, 0.10, 0.10, 4)
+	res := RunDistributed(p)
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatalf("invalid scheme: %v", err)
+	}
+}
+
+func TestDistributedWriteHeavyPlacesNothing(t *testing.T) {
+	p := gen(t, 8, 10, 3.0, 0.15, 5)
+	res := RunDistributed(p)
+	if res.Placements != 0 {
+		// With updates at 300% of reads replication can still occasionally
+		// pay off; what matters is consistency with the centralized run.
+		central := Run(p, Options{})
+		if res.Placements != central.Placements {
+			t.Fatalf("distributed placed %d, centralized %d", res.Placements, central.Placements)
+		}
+	}
+}
+
+func TestDistributedSingleSite(t *testing.T) {
+	p := gen(t, 1, 5, 0.05, 0.15, 6)
+	res := RunDistributed(p)
+	if res.Placements != 0 {
+		t.Fatalf("single site placed %d replicas", res.Placements)
+	}
+}

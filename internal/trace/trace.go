@@ -1,0 +1,164 @@
+// Package trace records and replays request traces: the concrete sequence
+// of timestamped reads and writes behind a measurement period's aggregate
+// r_k(i)/w_k(i) counts. Traces serialise as JSON lines, so workloads can
+// be archived, inspected and replayed against different replication
+// schemes — replaying a full period against a scheme reproduces eq. 4's D
+// exactly.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"drp/internal/core"
+	"drp/internal/xrand"
+)
+
+// Op is the request type.
+type Op string
+
+// Request operations.
+const (
+	OpRead  Op = "read"
+	OpWrite Op = "write"
+)
+
+// Request is one timestamped operation issued by a site.
+type Request struct {
+	Time   int64 `json:"t"`
+	Site   int   `json:"site"`
+	Object int   `json:"obj"`
+	Op     Op    `json:"op"`
+}
+
+// Trace is a time-ordered request sequence.
+type Trace struct {
+	Requests []Request
+}
+
+// periodTicks is the virtual duration of the generated measurement period.
+const periodTicks = 1_000_000
+
+// Generate expands the problem's aggregate read/write counts into a
+// concrete trace: every counted request gets a uniformly random timestamp
+// in the period. Identical seeds produce identical traces.
+func Generate(p *core.Problem, seed uint64) *Trace {
+	rng := xrand.New(seed)
+	var total int64
+	for k := 0; k < p.Objects(); k++ {
+		total += p.TotalReads(k) + p.TotalWrites(k)
+	}
+	tr := &Trace{Requests: make([]Request, 0, total)}
+	for i := 0; i < p.Sites(); i++ {
+		for k := 0; k < p.Objects(); k++ {
+			for r := int64(0); r < p.Reads(i, k); r++ {
+				tr.Requests = append(tr.Requests, Request{
+					Time: int64(rng.Intn(periodTicks)), Site: i, Object: k, Op: OpRead,
+				})
+			}
+			for w := int64(0); w < p.Writes(i, k); w++ {
+				tr.Requests = append(tr.Requests, Request{
+					Time: int64(rng.Intn(periodTicks)), Site: i, Object: k, Op: OpWrite,
+				})
+			}
+		}
+	}
+	sort.SliceStable(tr.Requests, func(a, b int) bool {
+		return tr.Requests[a].Time < tr.Requests[b].Time
+	})
+	return tr
+}
+
+// Encode writes the trace as JSON lines.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, req := range t.Requests {
+		if err := enc.Encode(req); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a JSON-lines trace, validating it against the problem's
+// dimensions.
+func Decode(p *core.Problem, r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for dec.More() {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		if req.Site < 0 || req.Site >= p.Sites() {
+			return nil, fmt.Errorf("trace: site %d out of range", req.Site)
+		}
+		if req.Object < 0 || req.Object >= p.Objects() {
+			return nil, fmt.Errorf("trace: object %d out of range", req.Object)
+		}
+		if req.Op != OpRead && req.Op != OpWrite {
+			return nil, fmt.Errorf("trace: unknown op %q", req.Op)
+		}
+		tr.Requests = append(tr.Requests, req)
+	}
+	return tr, nil
+}
+
+// Counts re-aggregates the trace into read/write matrices — the inverse of
+// Generate up to timestamps.
+func (t *Trace) Counts(p *core.Problem) (reads, writes [][]int64) {
+	reads = make([][]int64, p.Sites())
+	writes = make([][]int64, p.Sites())
+	for i := range reads {
+		reads[i] = make([]int64, p.Objects())
+		writes[i] = make([]int64, p.Objects())
+	}
+	for _, req := range t.Requests {
+		if req.Op == OpRead {
+			reads[req.Site][req.Object]++
+		} else {
+			writes[req.Site][req.Object]++
+		}
+	}
+	return reads, writes
+}
+
+// ReplayStats aggregates a replay.
+type ReplayStats struct {
+	Reads, Writes int64
+	// NTC is the total transfer cost of serving the trace under the given
+	// scheme via the paper's policy.
+	NTC int64
+}
+
+// Replay serves the trace against a replication scheme, request by
+// request, and returns the accounted transfer cost. Replaying the full
+// trace of a problem against a scheme for that problem yields exactly the
+// scheme's eq. 4 cost.
+func Replay(scheme *core.Scheme, t *Trace) ReplayStats {
+	p := scheme.Problem()
+	nearest := core.NewNearestTable(scheme)
+	var st ReplayStats
+	for _, req := range t.Requests {
+		switch req.Op {
+		case OpRead:
+			st.Reads++
+			st.NTC += p.Size(req.Object) * nearest.Dist(req.Site, req.Object)
+		case OpWrite:
+			st.Writes++
+			sp := p.Primary(req.Object)
+			st.NTC += p.Size(req.Object) * p.Cost(req.Site, sp)
+			for _, j := range scheme.Replicators(req.Object) {
+				if j == req.Site || j == sp {
+					continue
+				}
+				st.NTC += p.Size(req.Object) * p.Cost(sp, j)
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drp/internal/core"
+	"drp/internal/sra"
+	"drp/internal/workload"
+)
+
+func gen(t testing.TB, m, n int, u, c float64, seed uint64) *core.Problem {
+	t.Helper()
+	p, err := workload.Generate(workload.NewSpec(m, n, u, c), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGenerateMatchesCounts(t *testing.T) {
+	p := gen(t, 8, 12, 0.1, 0.2, 1)
+	tr := Generate(p, 7)
+	reads, writes := tr.Counts(p)
+	for i := 0; i < p.Sites(); i++ {
+		for k := 0; k < p.Objects(); k++ {
+			if reads[i][k] != p.Reads(i, k) || writes[i][k] != p.Writes(i, k) {
+				t.Fatalf("trace counts (%d,%d) = %d/%d, want %d/%d",
+					i, k, reads[i][k], writes[i][k], p.Reads(i, k), p.Writes(i, k))
+			}
+		}
+	}
+}
+
+func TestGenerateTimeOrdered(t *testing.T) {
+	p := gen(t, 6, 8, 0.05, 0.2, 2)
+	tr := Generate(p, 3)
+	for i := 1; i < len(tr.Requests); i++ {
+		if tr.Requests[i].Time < tr.Requests[i-1].Time {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+}
+
+func TestReplayEqualsEq4(t *testing.T) {
+	p := gen(t, 8, 10, 0.1, 0.2, 3)
+	tr := Generate(p, 11)
+	for _, scheme := range []*core.Scheme{
+		core.NewScheme(p),
+		sra.Run(p, sra.Options{}).Scheme,
+	} {
+		st := Replay(scheme, tr)
+		if st.NTC != scheme.Cost() {
+			t.Fatalf("replay NTC %d != eq.4 D %d", st.NTC, scheme.Cost())
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	p := gen(t, 5, 6, 0.1, 0.2, 4)
+	tr := Generate(p, 5)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Requests) != len(tr.Requests) {
+		t.Fatalf("round-trip lost requests: %d vs %d", len(loaded.Requests), len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		if loaded.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d changed across round-trip", i)
+		}
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	p := gen(t, 3, 3, 0.05, 0.3, 6)
+	bad := []string{
+		`{"t":1,"site":9,"obj":0,"op":"read"}`,
+		`{"t":1,"site":0,"obj":9,"op":"read"}`,
+		`{"t":1,"site":0,"obj":0,"op":"scan"}`,
+		`not json`,
+	}
+	for _, line := range bad {
+		if _, err := Decode(p, strings.NewReader(line)); err == nil {
+			t.Fatalf("bad line accepted: %s", line)
+		}
+	}
+	if tr, err := Decode(p, strings.NewReader("")); err != nil || len(tr.Requests) != 0 {
+		t.Fatal("empty trace should decode to zero requests")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := gen(t, 6, 8, 0.1, 0.2, 7)
+	a := Generate(p, 9)
+	b := Generate(p, 9)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed produced different trace lengths")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package workload generates DRP instances following Section 6.1 of the
+// paper, and the daytime pattern shifts of Section 6.3 used to evaluate the
+// adaptive algorithm.
+//
+// The paper's generator, reproduced exactly:
+//
+//   - every pair of sites is linked with cost U(1,10) (hop counts); C(i,j)
+//     is the shortest path over those links;
+//   - each object's primary copy lands on a uniformly random site;
+//   - reads r_k(i) ~ U(1,40) for every (site, object) pair;
+//   - each object's update total is U% of its read total, smeared by
+//     U(T/2, 3T/2), and assigned to uniformly random sites one by one;
+//   - object sizes are uniform with mean 35 (here U(1,69));
+//   - site capacities are U(C·S/2, 3C·S/2) where S = Σ o_k and C is the
+//     capacity ratio.
+package workload
+
+import (
+	"fmt"
+
+	"drp/internal/core"
+	"drp/internal/netsim"
+	"drp/internal/xrand"
+)
+
+// Spec parameterises the Section 6.1 generator. NewSpec supplies the
+// paper's constants; tests and experiments override the fields they sweep.
+type Spec struct {
+	Sites   int // M
+	Objects int // N
+
+	UpdateRatio   float64 // U: update total as a fraction of read total (paper: 0.02..0.10)
+	CapacityRatio float64 // C: site capacity as a fraction of Σ o_k (paper: 0.10..0.30)
+
+	ReadMin, ReadMax int // per-(site,object) reads, paper: 1..40
+	LinkMin, LinkMax int // per-link cost, paper: 1..10
+	SizeMean         int // object size mean, paper: 35 (sizes U(1, 2·mean−1))
+}
+
+// NewSpec returns a Spec with the paper's constants for M sites and N
+// objects, update ratio u and capacity ratio c (both as fractions, e.g.
+// 0.05 and 0.15).
+func NewSpec(sites, objects int, u, c float64) Spec {
+	return Spec{
+		Sites:         sites,
+		Objects:       objects,
+		UpdateRatio:   u,
+		CapacityRatio: c,
+		ReadMin:       1,
+		ReadMax:       40,
+		LinkMin:       1,
+		LinkMax:       10,
+		SizeMean:      35,
+	}
+}
+
+func (s Spec) validate() error {
+	switch {
+	case s.Sites <= 0:
+		return fmt.Errorf("workload: need at least one site, got %d", s.Sites)
+	case s.Objects <= 0:
+		return fmt.Errorf("workload: need at least one object, got %d", s.Objects)
+	case s.UpdateRatio < 0:
+		return fmt.Errorf("workload: negative update ratio %v", s.UpdateRatio)
+	case s.CapacityRatio < 0:
+		return fmt.Errorf("workload: negative capacity ratio %v", s.CapacityRatio)
+	case s.ReadMin < 0 || s.ReadMax < s.ReadMin:
+		return fmt.Errorf("workload: bad read range [%d,%d]", s.ReadMin, s.ReadMax)
+	case s.LinkMin < 1 || s.LinkMax < s.LinkMin:
+		return fmt.Errorf("workload: bad link cost range [%d,%d]", s.LinkMin, s.LinkMax)
+	case s.SizeMean < 1:
+		return fmt.Errorf("workload: object size mean %d < 1", s.SizeMean)
+	}
+	return nil
+}
+
+// Generate builds one random instance. Identical seeds produce identical
+// instances.
+func Generate(spec Spec, seed uint64) (*core.Problem, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(seed)
+	m, n := spec.Sites, spec.Objects
+
+	var dist *netsim.DistMatrix
+	if m == 1 {
+		dist = netsim.NewDistMatrix(1)
+	} else {
+		topo := netsim.CompleteUniform(m, int64(spec.LinkMin), int64(spec.LinkMax), rng)
+		var err error
+		dist, err = topo.Distances()
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+	}
+
+	primaries := make([]int, n)
+	for k := range primaries {
+		primaries[k] = rng.Intn(m)
+	}
+
+	reads := make([][]int64, m)
+	for i := range reads {
+		reads[i] = make([]int64, n)
+		for k := range reads[i] {
+			reads[i][k] = int64(rng.IntRange(spec.ReadMin, spec.ReadMax))
+		}
+	}
+
+	writes := make([][]int64, m)
+	for i := range writes {
+		writes[i] = make([]int64, n)
+	}
+	for k := 0; k < n; k++ {
+		var totalReads int64
+		for i := 0; i < m; i++ {
+			totalReads += reads[i][k]
+		}
+		base := spec.UpdateRatio * float64(totalReads)
+		// Final update total ~ U(T/2, 3T/2) around the U%-of-reads base.
+		total := int64(rng.FloatRange(base/2, 3*base/2) + 0.5)
+		for u := int64(0); u < total; u++ {
+			writes[rng.Intn(m)][k]++
+		}
+	}
+
+	sizes := make([]int64, n)
+	var totalSize int64
+	for k := range sizes {
+		sizes[k] = int64(rng.IntRange(1, 2*spec.SizeMean-1))
+		totalSize += sizes[k]
+	}
+
+	caps := make([]int64, m)
+	base := spec.CapacityRatio * float64(totalSize)
+	for i := range caps {
+		caps[i] = int64(rng.FloatRange(base/2, 3*base/2) + 0.5)
+	}
+	// Every primary copy must fit regardless of the random capacities, or
+	// the instance is infeasible by construction. Grow capacities where the
+	// draw fell short of the primaries a site must host.
+	need := make([]int64, m)
+	for k, sp := range primaries {
+		need[sp] += sizes[k]
+	}
+	for i := range caps {
+		if caps[i] < need[i] {
+			caps[i] = need[i]
+		}
+	}
+
+	return core.NewProblem(core.Config{
+		Sizes:      sizes,
+		Capacities: caps,
+		Primaries:  primaries,
+		Reads:      reads,
+		Writes:     writes,
+		Dist:       dist,
+	})
+}

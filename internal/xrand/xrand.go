@@ -1,0 +1,142 @@
+// Package xrand provides a small, deterministic pseudo-random number
+// generator with the distribution helpers the replication workloads and the
+// genetic algorithms need: integer ranges, floats, normals, permutations and
+// stream splitting.
+//
+// The generator is xoshiro256**, seeded through splitmix64, so identical
+// seeds reproduce identical workloads and GA runs across platforms. All
+// methods are deterministic functions of the seed and the call sequence; a
+// Source is not safe for concurrent use — derive one per goroutine with
+// Split.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic pseudo-random generator.
+type Source struct {
+	s [4]uint64
+	// cached spare normal variate for Norm (Box-Muller generates pairs).
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a Source seeded from seed via splitmix64.
+func New(seed uint64) *Source {
+	src := &Source{}
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 1
+	}
+	return src
+}
+
+// Split derives an independent child generator from the current stream.
+// The parent advances, so successive Splits yield distinct children.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *Source) Uint64() uint64 {
+	rotl := func(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation, with rejection to
+	// remove modulo bias.
+	bound := uint64(n)
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// FloatRange returns a uniform float in [lo, hi).
+func (r *Source) FloatRange(lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Norm returns a normally distributed float with the given mean and
+// standard deviation (Box-Muller).
+func (r *Source) Norm(mean, stddev float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return mean + stddev*u*m
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes the slice in place (Fisher-Yates).
+func (r *Source) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
