@@ -146,6 +146,23 @@ func BenchmarkGRAGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkGRAGenerationParallel is BenchmarkGRAGeneration with the
+// evaluation pool set to every core; the ratio of the two is the
+// realised speedup of the parallel evaluation layer (≈1 on one core).
+func BenchmarkGRAGenerationParallel(b *testing.B) {
+	p := benchProblem(b, 50, 200, 0.05)
+	params := drp.DefaultGRAParams()
+	params.Generations = 1
+	params.Parallelism = 0 // all cores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		params.Seed = uint64(i + 1)
+		if _, err := drp.GRA(p, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAGRAObject measures one per-object micro-GA (Ap=10, Ag=50), the
 // unit of adaptive work.
 func BenchmarkAGRAObject(b *testing.B) {

@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		gens     = fs.Int("gens", 0, "override: GRA generations")
 		pop      = fs.Int("pop", 0, "override: GRA population size")
 		seed     = fs.Uint64("seed", 0, "override: campaign seed")
+		par      = fs.Int("par", 0, "worker count for sweep cells (0 = all cores, 1 = serial); results are identical at any setting")
 		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
 		svgDir   = fs.String("svg", "", "also write each figure as an SVG chart into this directory")
 		quiet    = fs.Bool("q", false, "suppress progress output")
@@ -46,6 +47,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Overrides apply when the flag was given, not when its value is
+	// truthy — "-seed 0" and "-par 0" are meaningful settings, and an
+	// explicit "-networks 0" should fail validation loudly rather than be
+	// silently dropped.
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	var cfg experiments.Config
 	switch *preset {
@@ -58,17 +65,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown preset %q", *preset)
 	}
-	if *networks > 0 {
+	if set["networks"] {
 		cfg.Networks = *networks
 	}
-	if *gens > 0 {
+	if set["gens"] {
 		cfg.GRAGens = *gens
 	}
-	if *pop > 0 {
+	if set["pop"] {
 		cfg.GRAPop = *pop
 	}
-	if *seed > 0 {
+	if set["seed"] {
 		cfg.Seed = *seed
+	}
+	if set["par"] {
+		cfg.Parallelism = *par
 	}
 
 	logFn := func(format string, a ...interface{}) {

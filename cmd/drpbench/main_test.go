@@ -51,6 +51,51 @@ func TestBenchOverrides(t *testing.T) {
 	}
 }
 
+// TestBenchSeedZeroOverride pins the fs.Visit override detection: an
+// explicit "-seed 0" must take effect (the presets use seed 1), not be
+// mistaken for "flag not given".
+func TestBenchSeedZeroOverride(t *testing.T) {
+	csvAt := func(args ...string) string {
+		var out, errOut bytes.Buffer
+		if err := run(append([]string{"-preset", "tiny", "-fig", "3b", "-csv", "-q"}, args...), &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	base := csvAt()
+	if zero := csvAt("-seed", "0"); zero == base {
+		t.Fatal("-seed 0 was ignored")
+	}
+	if one := csvAt("-seed", "1"); one != base {
+		t.Fatal("-seed 1 should reproduce the tiny preset's default seed")
+	}
+}
+
+// TestBenchExplicitZeroNetworksRejected: an explicit nonsense override
+// should fail validation loudly instead of being silently dropped.
+func TestBenchExplicitZeroNetworksRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "tiny", "-fig", "3b", "-networks", "0", "-q"}, &out, &errOut); err == nil {
+		t.Fatal("-networks 0 accepted")
+	}
+}
+
+// TestBenchParallelMatchesSerial runs the deterministic capacity sweep at
+// two worker counts end to end through the CLI and compares the CSV bytes.
+func TestBenchParallelMatchesSerial(t *testing.T) {
+	csvAt := func(par string) string {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-preset", "tiny", "-fig", "3b", "-csv", "-q", "-par", par}, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := csvAt("1")
+	if parallel := csvAt("3"); parallel != serial {
+		t.Fatalf("-par 3 CSV diverged from -par 1:\n%s\nvs\n%s", parallel, serial)
+	}
+}
+
 func TestBenchRejectsBadInput(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-preset", "warp"}, &out, &errOut); err == nil {

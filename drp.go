@@ -26,6 +26,15 @@
 //
 // Problems can also be built from explicit topologies and patterns via
 // NewProblem, or loaded from JSON via ReadProblem.
+//
+// # Parallelism
+//
+// GRAParams, AGRAParams and the experiment harness expose a Parallelism
+// knob that fans cost evaluation (and, for Adapt, whole per-object
+// micro-GAs) out across a pool of worker goroutines: 0 uses every core,
+// 1 runs fully serial. All randomness stays on the coordinating
+// goroutine — workers only evaluate — so for a fixed seed the results are
+// bit-for-bit identical at every worker count.
 package drp
 
 import (
@@ -88,11 +97,14 @@ type (
 	SRAOptions = sra.Options
 	// SRAResult is the greedy's scheme plus run accounting.
 	SRAResult = sra.Result
-	// GRAParams are the genetic algorithm's control parameters.
+	// GRAParams are the genetic algorithm's control parameters, including
+	// the Parallelism worker count (0 = all cores, 1 = serial; results are
+	// identical either way).
 	GRAParams = gra.Params
 	// GRAResult is the genetic algorithm's outcome.
 	GRAResult = gra.Result
-	// AGRAParams are the adaptive micro-GA's control parameters.
+	// AGRAParams are the adaptive micro-GA's control parameters, including
+	// the Parallelism worker count for the per-object fan-out.
 	AGRAParams = agra.Params
 	// AdaptInput bundles one adaptation event.
 	AdaptInput = agra.Input

@@ -7,6 +7,7 @@ import (
 	"drp/internal/bitset"
 	"drp/internal/core"
 	"drp/internal/gra"
+	"drp/internal/parallel"
 	"drp/internal/xrand"
 )
 
@@ -72,13 +73,31 @@ func Adapt(in Input, params Params, miniParams gra.Params, miniGenerations int) 
 
 	res := &Result{}
 	microStart := time.Now()
-	objResults := make([]*ObjectResult, 0, len(in.Changed))
-	for _, k := range in.Changed {
-		or, err := RunObject(p, k, in.Current.Replicators(k), in.GRAPopulation, params, rng.Split())
+	// The micro-GAs are independent by construction, so they fan out
+	// across params.Parallelism workers. Every RNG fork happens here on
+	// the coordinator, in input order, before any goroutine starts; each
+	// RunObject builds its own core.Evaluator, reads the shared problem
+	// and GRA population (both immutable during the fan-out) and writes
+	// its result by index — bit-identical to the serial loop.
+	type microTask struct {
+		current []int
+		rng     *xrand.Source
+	}
+	tasks := make([]microTask, len(in.Changed))
+	for i, k := range in.Changed {
+		tasks[i] = microTask{current: in.Current.Replicators(k), rng: rng.Split()}
+	}
+	objResults := make([]*ObjectResult, len(tasks))
+	errs := make([]error, len(tasks))
+	parallel.For(len(tasks), parallel.Workers(params.Parallelism), func(i int) {
+		objResults[i], errs[i] = RunObject(p, in.Changed[i], tasks[i].current, in.GRAPopulation, params, tasks[i].rng)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		objResults = append(objResults, or)
+	}
+	for _, or := range objResults {
 		res.Objects = append(res.Objects, *or)
 	}
 	res.MicroElapsed = time.Since(microStart)

@@ -1,0 +1,112 @@
+package agra
+
+import (
+	"testing"
+
+	"drp/internal/core"
+	"drp/internal/gra"
+	"drp/internal/workload"
+)
+
+// TestAdaptParallelBitIdentical asserts the adaptive pipeline's determinism
+// guarantee: worker counts 1, 2 and 8 all reproduce the serial result —
+// same adapted scheme, cost, per-object winners and retained population.
+// The fixture is built once and shared (Scheme.Equal requires the same
+// *Problem); Adapt only reads it.
+func TestAdaptParallelBitIdentical(t *testing.T) {
+	_, newP, current, changed := adaptFixture(t, workload.ChangeSpec{Ch: 6, ObjectShare: 0.3, ReadShare: 0.5}, 50)
+	cur, err := core.SchemeFromBits(newP, current.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAdaptAt := func(par int) *Result {
+		params := microParams(11)
+		params.Parallelism = par
+		mini := miniParams(11)
+		mini.Parallelism = par
+		res, err := Adapt(Input{Problem: newP, Current: cur, Changed: changed}, params, mini, 4)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return res
+	}
+	ref := runAdaptAt(1)
+	for _, par := range []int{2, 8} {
+		res := runAdaptAt(par)
+		if res.Cost != ref.Cost || res.Savings != ref.Savings {
+			t.Fatalf("par=%d: cost/savings %d/%v diverged from serial %d/%v",
+				par, res.Cost, res.Savings, ref.Cost, ref.Savings)
+		}
+		if !res.Scheme.Equal(ref.Scheme) {
+			t.Fatalf("par=%d: adapted scheme bits diverged from serial", par)
+		}
+		if len(res.Objects) != len(ref.Objects) {
+			t.Fatalf("par=%d: %d object results, want %d", par, len(res.Objects), len(ref.Objects))
+		}
+		for i := range res.Objects {
+			a, b := res.Objects[i], ref.Objects[i]
+			if a.Object != b.Object || a.Fitness != b.Fitness || a.Evaluations != b.Evaluations {
+				t.Fatalf("par=%d: object %d result diverged (%+v vs %+v)", par, i, a, b)
+			}
+			if len(a.Best) != len(b.Best) {
+				t.Fatalf("par=%d: object %d best scheme size diverged", par, i)
+			}
+			for j := range a.Best {
+				if a.Best[j] != b.Best[j] {
+					t.Fatalf("par=%d: object %d best scheme diverged", par, i)
+				}
+			}
+		}
+		for i := range res.Population {
+			if !res.Population[i].Equal(ref.Population[i]) {
+				t.Fatalf("par=%d: retained population member %d diverged", par, i)
+			}
+		}
+	}
+}
+
+// TestAdaptParallelHammer drives the fan-out under -race: every changed
+// object's micro-GA runs concurrently against the shared problem and GRA
+// population.
+func TestAdaptParallelHammer(t *testing.T) {
+	old, newP, current, changed := adaptFixture(t, workload.ChangeSpec{Ch: 6, ObjectShare: 0.5, ReadShare: 0.5}, 60)
+	graParams := gra.DefaultParams()
+	graParams.PopSize = 8
+	graParams.Generations = 4
+	graParams.Seed = 13
+	graRes, err := gra.Run(old, graParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := core.SchemeFromBits(newP, current.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := microParams(17)
+	params.Parallelism = 8
+	res, err := Adapt(Input{
+		Problem:       newP,
+		Current:       cur,
+		GRAPopulation: graRes.Population,
+		Changed:       changed,
+	}, params, miniParams(17), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatalf("hammered adaptation produced invalid scheme: %v", err)
+	}
+}
+
+func TestAdaptRejectsNegativeParallelism(t *testing.T) {
+	_, newP, current, changed := adaptFixture(t, workload.ChangeSpec{Ch: 6, ObjectShare: 0.2, ReadShare: 0.5}, 70)
+	cur, err := core.SchemeFromBits(newP, current.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := microParams(1)
+	params.Parallelism = -2
+	if _, err := Adapt(Input{Problem: newP, Current: cur, Changed: changed}, params, miniParams(1), 0); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"drp/internal/bitset"
 	"drp/internal/core"
 	"drp/internal/gra"
+	"drp/internal/parallel"
 	"drp/internal/workload"
 )
 
@@ -34,96 +35,138 @@ type AdaptSweep struct {
 	TimeMS   map[string][]float64
 }
 
-// runAdaptPoint evaluates all Section 6.3 policies for one pattern-change
-// setting, averaged over cfg.Networks networks. Returns savings and
-// runtimes keyed by policy name.
-func (cfg Config) runAdaptPoint(tag uint64, objectShare, readShare float64) (map[string]float64, map[string]float64, error) {
+// adaptCell is one Figure 4 sweep point: a pattern-change setting plus the
+// progress line announcing it.
+type adaptCell struct {
+	tag                    uint64
+	objectShare, readShare float64
+	desc                   string
+}
+
+// adaptInstance evaluates all Section 6.3 policies on the net-th random
+// network of a cell, returning one savings and one runtime value per
+// policy. The seed is a pure function of (cell, net), so instances are
+// independent and safe to run on any worker in any order.
+func (cfg Config) adaptInstance(cell adaptCell, net int) (map[string]float64, map[string]float64, error) {
 	polNames := cfg.policyNames()
-	savAcc := make(map[string][]float64, len(polNames))
-	timeAcc := make(map[string][]float64, len(polNames))
-
-	for net := 0; net < cfg.Networks; net++ {
-		seed := cfg.pointSeed(tag, math.Float64bits(objectShare), math.Float64bits(readShare), uint64(net))
-		old, err := workload.Generate(workload.NewSpec(cfg.AdaptSites, cfg.AdaptObjects, cfg.BaseUpdateRatio, cfg.BaseCapacityRatio), seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		// The network's current scheme comes from a static GRA run on the
-		// old (night-time) patterns; its population is retained, as the
-		// paper's monitor site would.
-		staticRes, err := gra.Run(old, cfg.graParams(seed+1))
-		if err != nil {
-			return nil, nil, err
-		}
-		newP, changes, err := workload.ApplyChange(old, workload.ChangeSpec{
-			Ch:          cfg.Ch,
-			ObjectShare: objectShare,
-			ReadShare:   readShare,
-		}, seed+2)
-		if err != nil {
-			return nil, nil, err
-		}
-		changed := make([]int, len(changes))
-		for i, c := range changes {
-			changed[i] = c.Object
-		}
-		current, err := core.SchemeFromBits(newP, staticRes.Scheme.Bits())
-		if err != nil {
-			return nil, nil, err
-		}
-
-		record := func(name string, savings, ms float64) {
-			savAcc[name] = append(savAcc[name], savings)
-			timeAcc[name] = append(timeAcc[name], ms)
-		}
-
-		// Policy: Current — the stale static scheme evaluated against the
-		// new patterns.
-		record(polNames[0], newP.Savings(current.Cost()), 0)
-
-		// Policies: Current+AGRA, AGRA+5GRA, AGRA+10GRA.
-		for i, miniGens := range []int{0, 5, 10} {
-			mini := cfg.graParams(seed + 3 + uint64(i))
-			res, err := agra.Adapt(agra.Input{
-				Problem:       newP,
-				Current:       current,
-				GRAPopulation: staticRes.Population,
-				Changed:       changed,
-			}, cfg.agraParams(seed+7+uint64(i)), mini, miniGens)
-			if err != nil {
-				return nil, nil, err
-			}
-			record(polNames[1+i], res.Savings, float64(res.Elapsed.Microseconds())/1000)
-		}
-
-		// Policies: Current+MedGRA and Current+LongGRA — re-run the static
-		// GRA from the retained population under the new patterns.
-		seedPop := append([]*bitset.Set{current.Bits()}, staticRes.Population...)
-		for i, gens := range []int{cfg.MedGens, cfg.LongGens} {
-			params := cfg.graParams(seed + 11 + uint64(i))
-			params.Generations = gens
-			res, err := gra.RunWithPopulation(newP, params, seedPop)
-			if err != nil {
-				return nil, nil, err
-			}
-			record(polNames[4+i], res.Scheme.Savings(), float64(res.Elapsed.Microseconds())/1000)
-		}
-
-		// Policy: LongGRA from scratch (fresh SRA-seeded population).
-		params := cfg.graParams(seed + 13)
-		params.Generations = cfg.LongGens
-		res, err := gra.Run(newP, params)
-		if err != nil {
-			return nil, nil, err
-		}
-		record(polNames[6], res.Scheme.Savings(), float64(res.Elapsed.Microseconds())/1000)
-	}
-
 	sav := make(map[string]float64, len(polNames))
 	ms := make(map[string]float64, len(polNames))
-	for _, name := range polNames {
-		sav[name] = mean(savAcc[name])
-		ms[name] = mean(timeAcc[name])
+	record := func(name string, savings, elapsedMS float64) {
+		sav[name] = savings
+		ms[name] = elapsedMS
+	}
+
+	seed := cfg.pointSeed(cell.tag, math.Float64bits(cell.objectShare), math.Float64bits(cell.readShare), uint64(net))
+	old, err := workload.Generate(workload.NewSpec(cfg.AdaptSites, cfg.AdaptObjects, cfg.BaseUpdateRatio, cfg.BaseCapacityRatio), seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The network's current scheme comes from a static GRA run on the
+	// old (night-time) patterns; its population is retained, as the
+	// paper's monitor site would.
+	staticRes, err := gra.Run(old, cfg.graParams(seed+1))
+	if err != nil {
+		return nil, nil, err
+	}
+	newP, changes, err := workload.ApplyChange(old, workload.ChangeSpec{
+		Ch:          cfg.Ch,
+		ObjectShare: cell.objectShare,
+		ReadShare:   cell.readShare,
+	}, seed+2)
+	if err != nil {
+		return nil, nil, err
+	}
+	changed := make([]int, len(changes))
+	for i, c := range changes {
+		changed[i] = c.Object
+	}
+	current, err := core.SchemeFromBits(newP, staticRes.Scheme.Bits())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Policy: Current — the stale static scheme evaluated against the
+	// new patterns.
+	record(polNames[0], newP.Savings(current.Cost()), 0)
+
+	// Policies: Current+AGRA, AGRA+5GRA, AGRA+10GRA.
+	for i, miniGens := range []int{0, 5, 10} {
+		mini := cfg.graParams(seed + 3 + uint64(i))
+		res, err := agra.Adapt(agra.Input{
+			Problem:       newP,
+			Current:       current,
+			GRAPopulation: staticRes.Population,
+			Changed:       changed,
+		}, cfg.agraParams(seed+7+uint64(i)), mini, miniGens)
+		if err != nil {
+			return nil, nil, err
+		}
+		record(polNames[1+i], res.Savings, float64(res.Elapsed.Microseconds())/1000)
+	}
+
+	// Policies: Current+MedGRA and Current+LongGRA — re-run the static
+	// GRA from the retained population under the new patterns.
+	seedPop := append([]*bitset.Set{current.Bits()}, staticRes.Population...)
+	for i, gens := range []int{cfg.MedGens, cfg.LongGens} {
+		params := cfg.graParams(seed + 11 + uint64(i))
+		params.Generations = gens
+		res, err := gra.RunWithPopulation(newP, params, seedPop)
+		if err != nil {
+			return nil, nil, err
+		}
+		record(polNames[4+i], res.Scheme.Savings(), float64(res.Elapsed.Microseconds())/1000)
+	}
+
+	// Policy: LongGRA from scratch (fresh SRA-seeded population).
+	params := cfg.graParams(seed + 13)
+	params.Generations = cfg.LongGens
+	res, err := gra.Run(newP, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	record(polNames[6], res.Scheme.Savings(), float64(res.Elapsed.Microseconds())/1000)
+
+	return sav, ms, nil
+}
+
+// runAdaptCells fans the cells × cfg.Networks instances out across the
+// campaign worker pool and reduces each cell's per-policy means in input
+// order.
+func (cfg Config) runAdaptCells(cells []adaptCell, log logf) ([]map[string]float64, []map[string]float64, error) {
+	log = syncLogf(log)
+	nets := cfg.Networks
+	type sample struct{ sav, ms map[string]float64 }
+	samples := make([]sample, len(cells)*nets)
+	errs := make([]error, len(samples))
+	parallel.For(len(samples), parallel.Workers(cfg.Parallelism), func(ti int) {
+		ci, net := ti/nets, ti%nets
+		if net == 0 {
+			log("%s", cells[ci].desc)
+		}
+		samples[ti].sav, samples[ti].ms, errs[ti] = cfg.adaptInstance(cells[ci], net)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	polNames := cfg.policyNames()
+	sav := make([]map[string]float64, len(cells))
+	ms := make([]map[string]float64, len(cells))
+	acc := make([]float64, nets)
+	for ci := range cells {
+		sav[ci] = make(map[string]float64, len(polNames))
+		ms[ci] = make(map[string]float64, len(polNames))
+		for _, name := range polNames {
+			for net := 0; net < nets; net++ {
+				acc[net] = samples[ci*nets+net].sav[name]
+			}
+			sav[ci][name] = mean(acc)
+			for net := 0; net < nets; net++ {
+				acc[net] = samples[ci*nets+net].ms[name]
+			}
+			ms[ci][name] = mean(acc)
+		}
 	}
 	return sav, ms, nil
 }
@@ -136,16 +179,22 @@ func (cfg Config) runAdaptSweep(tag uint64, readShare float64, what string, log 
 		Savings:  make(map[string][]float64),
 		TimeMS:   make(map[string][]float64),
 	}
+	var cells []adaptCell
 	for xi, oc := range cfg.OChSweep {
-		log("fig4 (%s): OCh=%.0f%% (%d/%d)", what, 100*oc, xi+1, len(cfg.OChSweep))
 		sweep.X = append(sweep.X, 100*oc)
-		sav, ms, err := cfg.runAdaptPoint(tag, oc, readShare)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, adaptCell{
+			tag: tag, objectShare: oc, readShare: readShare,
+			desc: fmt.Sprintf("fig4 (%s): OCh=%.0f%% (%d/%d)", what, 100*oc, xi+1, len(cfg.OChSweep)),
+		})
+	}
+	sav, ms, err := cfg.runAdaptCells(cells, log)
+	if err != nil {
+		return nil, err
+	}
+	for ci := range cells {
 		for _, name := range sweep.Policies {
-			sweep.Savings[name] = append(sweep.Savings[name], sav[name])
-			sweep.TimeMS[name] = append(sweep.TimeMS[name], ms[name])
+			sweep.Savings[name] = append(sweep.Savings[name], sav[ci][name])
+			sweep.TimeMS[name] = append(sweep.TimeMS[name], ms[ci][name])
 		}
 	}
 	return sweep, nil
@@ -159,16 +208,22 @@ func (cfg Config) runMixSweep(log logf) (*AdaptSweep, error) {
 		Savings:  make(map[string][]float64),
 		TimeMS:   make(map[string][]float64),
 	}
+	var cells []adaptCell
 	for xi, mix := range cfg.MixSweep {
-		log("fig4c: read share=%.0f%% (%d/%d)", 100*mix, xi+1, len(cfg.MixSweep))
 		sweep.X = append(sweep.X, 100*mix)
-		sav, ms, err := cfg.runAdaptPoint(0x4c0, cfg.MixObjectShare, mix)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, adaptCell{
+			tag: 0x4c0, objectShare: cfg.MixObjectShare, readShare: mix,
+			desc: fmt.Sprintf("fig4c: read share=%.0f%% (%d/%d)", 100*mix, xi+1, len(cfg.MixSweep)),
+		})
+	}
+	sav, ms, err := cfg.runAdaptCells(cells, log)
+	if err != nil {
+		return nil, err
+	}
+	for ci := range cells {
 		for _, name := range sweep.Policies {
-			sweep.Savings[name] = append(sweep.Savings[name], sav[name])
-			sweep.TimeMS[name] = append(sweep.TimeMS[name], ms[name])
+			sweep.Savings[name] = append(sweep.Savings[name], sav[ci][name])
+			sweep.TimeMS[name] = append(sweep.TimeMS[name], ms[ci][name])
 		}
 	}
 	return sweep, nil

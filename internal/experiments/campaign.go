@@ -3,10 +3,23 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // logf receives progress messages; campaigns are long-running.
 type logf func(format string, args ...interface{})
+
+// syncLogf serialises a logf so sweep workers can emit progress lines
+// concurrently; the sink (os.Stderr, a test buffer) need not be
+// goroutine-safe.
+func syncLogf(log logf) logf {
+	var mu sync.Mutex
+	return func(format string, args ...interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		log(format, args...)
+	}
+}
 
 // FigureIDs lists every figure of the paper's evaluation section that the
 // harness reproduces, in paper order.

@@ -23,6 +23,12 @@ type Config struct {
 	// Seed derives every workload and algorithm seed; campaigns are fully
 	// reproducible.
 	Seed uint64
+	// Parallelism caps how many (point, network) cells of a sweep run
+	// concurrently. Every cell derives its seeds from pointSeed alone and
+	// writes its measurements into an index-addressed slot reduced in input
+	// order, so campaign results are bit-identical at any setting (timings,
+	// of course, vary). 0 means GOMAXPROCS; 1 runs fully serial.
+	Parallelism int
 
 	// GRAPop/GRAGens parameterise the static GRA (paper: 50/80).
 	GRAPop  int
@@ -151,15 +157,22 @@ func (cfg Config) validate() error {
 		return fmt.Errorf("experiments: bad GRA budget %d/%d", cfg.GRAPop, cfg.GRAGens)
 	case cfg.AGRAPop < 2 || cfg.AGRAGens < 0:
 		return fmt.Errorf("experiments: bad AGRA budget %d/%d", cfg.AGRAPop, cfg.AGRAGens)
+	case cfg.Parallelism < 0:
+		return fmt.Errorf("experiments: negative parallelism %d", cfg.Parallelism)
 	}
 	return nil
 }
 
+// graParams and agraParams pin the inner algorithms to serial evaluation:
+// campaigns parallelise across (point, network) cells, and nesting a second
+// worker pool inside each cell would only oversubscribe the machine. The
+// single-run entry points in extra.go override this with cfg.Parallelism.
 func (cfg Config) graParams(seed uint64) gra.Params {
 	p := gra.DefaultParams()
 	p.PopSize = cfg.GRAPop
 	p.Generations = cfg.GRAGens
 	p.Seed = seed
+	p.Parallelism = 1
 	return p
 }
 
@@ -168,6 +181,7 @@ func (cfg Config) agraParams(seed uint64) agra.Params {
 	p.PopSize = cfg.AGRAPop
 	p.Generations = cfg.AGRAGens
 	p.Seed = seed
+	p.Parallelism = 1
 	return p
 }
 

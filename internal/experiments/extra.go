@@ -67,7 +67,10 @@ func RunSummary(cfg Config, log func(format string, args ...interface{})) (*Summ
 	add("hill climb", hc.Scheme.Savings(), hc.Scheme.TotalReplicas(), time.Since(start))
 
 	log("summary: GRA (%d gens)", cfg.GRAGens)
-	graRes, err := gra.Run(p, cfg.graParams(cfg.Seed+1))
+	// A single run, so the campaign's worker budget goes to the GA itself.
+	params := cfg.graParams(cfg.Seed + 1)
+	params.Parallelism = cfg.Parallelism
+	graRes, err := gra.Run(p, params)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +120,9 @@ func RunConvergence(cfg Config, log func(format string, args ...interface{})) (*
 		if err != nil {
 			return nil, err
 		}
-		res, err := gra.Run(p, cfg.graParams(cfg.Seed+7))
+		params := cfg.graParams(cfg.Seed + 7)
+		params.Parallelism = cfg.Parallelism
+		res, err := gra.Run(p, params)
 		if err != nil {
 			return nil, err
 		}

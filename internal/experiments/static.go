@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"drp/internal/gra"
+	"drp/internal/parallel"
 	"drp/internal/sra"
 	"drp/internal/workload"
 )
@@ -36,36 +37,74 @@ func (s *StaticSweep) variant(label string) *Variant {
 	return v
 }
 
-// staticPoint runs SRA and GRA on cfg.Networks random instances of the
-// given shape and returns the mean savings, replica counts, runtimes and
-// savings standard deviations:
+// staticCell is one sweep point: a problem shape plus the progress line
+// announcing it.
+type staticCell struct {
+	tag  uint64
+	m, n int
+	u, c float64
+	desc string
+}
+
+// staticInstance runs SRA and GRA on the net-th random network of a cell
+// and returns the raw sample
+// (sraSav, graSav, sraRepl, graRepl, sraMS, graMS).
+// The seed is a pure function of (cell, net), so instances are independent
+// and safe to run on any worker in any order.
+func (cfg Config) staticInstance(cell staticCell, net int) ([6]float64, error) {
+	seed := cfg.pointSeed(cell.tag, uint64(cell.m), uint64(cell.n), math.Float64bits(cell.u), math.Float64bits(cell.c), uint64(net))
+	p, err := workload.Generate(workload.NewSpec(cell.m, cell.n, cell.u, cell.c), seed)
+	if err != nil {
+		return [6]float64{}, fmt.Errorf("experiments: generate M=%d N=%d: %w", cell.m, cell.n, err)
+	}
+	sraRes := sra.Run(p, sra.Options{})
+	graRes, err := gra.Run(p, cfg.graParams(seed+1))
+	if err != nil {
+		return [6]float64{}, fmt.Errorf("experiments: gra M=%d N=%d: %w", cell.m, cell.n, err)
+	}
+	return [6]float64{
+		p.Savings(sraRes.Scheme.Cost()),
+		graRes.Scheme.Savings(),
+		float64(sraRes.Scheme.TotalReplicas()),
+		float64(graRes.Scheme.TotalReplicas()),
+		float64(sraRes.Elapsed.Microseconds()) / 1000,
+		float64(graRes.Elapsed.Microseconds()) / 1000,
+	}, nil
+}
+
+// runStaticCells fans the cells × cfg.Networks instances out across the
+// campaign worker pool and reduces each cell's statistics in input order:
 // (sraSav, graSav, sraRepl, graRepl, sraMS, graMS, sraSavStd, graSavStd).
-func (cfg Config) staticPoint(tag uint64, m, n int, u, c float64) ([8]float64, error) {
-	var acc [6][]float64
-	for net := 0; net < cfg.Networks; net++ {
-		seed := cfg.pointSeed(tag, uint64(m), uint64(n), math.Float64bits(u), math.Float64bits(c), uint64(net))
-		p, err := workload.Generate(workload.NewSpec(m, n, u, c), seed)
-		if err != nil {
-			return [8]float64{}, fmt.Errorf("experiments: generate M=%d N=%d: %w", m, n, err)
+func (cfg Config) runStaticCells(cells []staticCell, log logf) ([][8]float64, error) {
+	log = syncLogf(log)
+	nets := cfg.Networks
+	samples := make([][6]float64, len(cells)*nets)
+	errs := make([]error, len(samples))
+	parallel.For(len(samples), parallel.Workers(cfg.Parallelism), func(ti int) {
+		ci, net := ti/nets, ti%nets
+		if net == 0 {
+			log("%s", cells[ci].desc)
 		}
-		sraRes := sra.Run(p, sra.Options{})
-		graRes, err := gra.Run(p, cfg.graParams(seed+1))
+		samples[ti], errs[ti] = cfg.staticInstance(cells[ci], net)
+	})
+	for _, err := range errs {
 		if err != nil {
-			return [8]float64{}, fmt.Errorf("experiments: gra M=%d N=%d: %w", m, n, err)
+			return nil, err
 		}
-		acc[0] = append(acc[0], p.Savings(sraRes.Scheme.Cost()))
-		acc[1] = append(acc[1], graRes.Scheme.Savings())
-		acc[2] = append(acc[2], float64(sraRes.Scheme.TotalReplicas()))
-		acc[3] = append(acc[3], float64(graRes.Scheme.TotalReplicas()))
-		acc[4] = append(acc[4], float64(sraRes.Elapsed.Microseconds())/1000)
-		acc[5] = append(acc[5], float64(graRes.Elapsed.Microseconds())/1000)
 	}
-	var out [8]float64
-	for i := range acc {
-		out[i] = mean(acc[i])
+	out := make([][8]float64, len(cells))
+	acc := make([]float64, nets)
+	for ci := range cells {
+		for col := 0; col < 6; col++ {
+			for net := 0; net < nets; net++ {
+				acc[net] = samples[ci*nets+net][col]
+			}
+			out[ci][col] = mean(acc)
+			if col < 2 {
+				out[ci][6+col] = stddev(acc)
+			}
+		}
 	}
-	out[6] = stddev(acc[0])
-	out[7] = stddev(acc[1])
 	return out, nil
 }
 
@@ -77,14 +116,24 @@ func (cfg Config) runSitesSweep(log logf) (*StaticSweep, error) {
 	for _, m := range cfg.SitesSweep {
 		sweep.X = append(sweep.X, float64(m))
 	}
+	var cells []staticCell
 	for _, u := range cfg.UpdateRatios {
 		for xi, m := range cfg.SitesSweep {
-			log("fig1/2: sites=%d U=%.0f%% (%d/%d)", m, 100*u, xi+1, len(cfg.SitesSweep))
-			vals, err := cfg.staticPoint(0x516, m, cfg.Fig1Objects, u, cfg.BaseCapacityRatio)
-			if err != nil {
-				return nil, err
-			}
-			cfg.appendPoint(sweep, u, vals)
+			cells = append(cells, staticCell{
+				tag: 0x516, m: m, n: cfg.Fig1Objects, u: u, c: cfg.BaseCapacityRatio,
+				desc: fmt.Sprintf("fig1/2: sites=%d U=%.0f%% (%d/%d)", m, 100*u, xi+1, len(cfg.SitesSweep)),
+			})
+		}
+	}
+	vals, err := cfg.runStaticCells(cells, log)
+	if err != nil {
+		return nil, err
+	}
+	ci := 0
+	for _, u := range cfg.UpdateRatios {
+		for range cfg.SitesSweep {
+			cfg.appendPoint(sweep, u, vals[ci])
+			ci++
 		}
 	}
 	return sweep, nil
@@ -97,14 +146,24 @@ func (cfg Config) runObjectsSweep(log logf) (*StaticSweep, error) {
 	for _, n := range cfg.ObjectsSweep {
 		sweep.X = append(sweep.X, float64(n))
 	}
+	var cells []staticCell
 	for _, u := range cfg.UpdateRatios {
 		for xi, n := range cfg.ObjectsSweep {
-			log("fig1c/d: objects=%d U=%.0f%% (%d/%d)", n, 100*u, xi+1, len(cfg.ObjectsSweep))
-			vals, err := cfg.staticPoint(0x0b7, cfg.Fig1cSites, n, u, cfg.BaseCapacityRatio)
-			if err != nil {
-				return nil, err
-			}
-			cfg.appendPoint(sweep, u, vals)
+			cells = append(cells, staticCell{
+				tag: 0x0b7, m: cfg.Fig1cSites, n: n, u: u, c: cfg.BaseCapacityRatio,
+				desc: fmt.Sprintf("fig1c/d: objects=%d U=%.0f%% (%d/%d)", n, 100*u, xi+1, len(cfg.ObjectsSweep)),
+			})
+		}
+	}
+	vals, err := cfg.runStaticCells(cells, log)
+	if err != nil {
+		return nil, err
+	}
+	ci := 0
+	for _, u := range cfg.UpdateRatios {
+		for range cfg.ObjectsSweep {
+			cfg.appendPoint(sweep, u, vals[ci])
+			ci++
 		}
 	}
 	return sweep, nil
@@ -133,14 +192,20 @@ func (cfg Config) runUpdateSweep(log logf) (*StaticSweep, error) {
 	sweep := &StaticSweep{}
 	sraV := sweep.variant("SRA")
 	graV := sweep.variant("GRA")
+	var cells []staticCell
 	for xi, u := range cfg.UpdateSweep {
-		log("fig3a: U=%.1f%% (%d/%d)", 100*u, xi+1, len(cfg.UpdateSweep))
 		sweep.X = append(sweep.X, 100*u)
-		vals, err := cfg.staticPoint(0x3a0, cfg.Fig3Sites, cfg.Fig3Objects, u, cfg.BaseCapacityRatio)
-		if err != nil {
-			return nil, err
-		}
-		appendVals(sraV, graV, vals)
+		cells = append(cells, staticCell{
+			tag: 0x3a0, m: cfg.Fig3Sites, n: cfg.Fig3Objects, u: u, c: cfg.BaseCapacityRatio,
+			desc: fmt.Sprintf("fig3a: U=%.1f%% (%d/%d)", 100*u, xi+1, len(cfg.UpdateSweep)),
+		})
+	}
+	vals, err := cfg.runStaticCells(cells, log)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vals {
+		appendVals(sraV, graV, v)
 	}
 	return sweep, nil
 }
@@ -151,14 +216,20 @@ func (cfg Config) runCapacitySweep(log logf) (*StaticSweep, error) {
 	sweep := &StaticSweep{}
 	sraV := sweep.variant("SRA")
 	graV := sweep.variant("GRA")
+	var cells []staticCell
 	for xi, c := range cfg.CapacitySweep {
-		log("fig3b: C=%.0f%% (%d/%d)", 100*c, xi+1, len(cfg.CapacitySweep))
 		sweep.X = append(sweep.X, 100*c)
-		vals, err := cfg.staticPoint(0x3b0, cfg.Fig3Sites, cfg.Fig3Objects, cfg.BaseUpdateRatio, c)
-		if err != nil {
-			return nil, err
-		}
-		appendVals(sraV, graV, vals)
+		cells = append(cells, staticCell{
+			tag: 0x3b0, m: cfg.Fig3Sites, n: cfg.Fig3Objects, u: cfg.BaseUpdateRatio, c: c,
+			desc: fmt.Sprintf("fig3b: C=%.0f%% (%d/%d)", 100*c, xi+1, len(cfg.CapacitySweep)),
+		})
+	}
+	vals, err := cfg.runStaticCells(cells, log)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vals {
+		appendVals(sraV, graV, v)
 	}
 	return sweep, nil
 }

@@ -102,19 +102,26 @@ func StochasticRemainder(pool []Individual, count int, rng *xrand.Source) []Indi
 }
 
 // RouletteIndex picks an index with probability proportional to the
-// non-negative weights. All-zero weights fall back to a uniform pick.
+// non-negative weights. NaN and negative weights are treated as zero — a
+// NaN in the running total would otherwise poison every comparison and
+// silently bias the pick to the last index. All-zero (or otherwise
+// degenerate) totals fall back to a uniform pick.
 func RouletteIndex(weights []float64, rng *xrand.Source) int {
 	total := 0.0
 	for _, w := range weights {
-		total += w
+		if w > 0 {
+			total += w
+		}
 	}
-	if total <= 0 {
+	if total <= 0 || math.IsInf(total, 0) {
 		return rng.Intn(len(weights))
 	}
 	spin := rng.Float64() * total
 	acc := 0.0
 	for i, w := range weights {
-		acc += w
+		if w > 0 {
+			acc += w
+		}
 		if spin < acc {
 			return i
 		}
@@ -176,20 +183,30 @@ func MutateBits(length int, rate float64, rng *xrand.Source, flip func(i int)) {
 		}
 		return
 	}
-	i := nextGeometric(rate, rng)
+	i := nextGeometric(rate, length, rng)
 	for i < length {
 		flip(i)
-		i += 1 + nextGeometric(rate, rng)
+		i += 1 + nextGeometric(rate, length, rng)
 	}
 }
 
 // nextGeometric returns the number of Bernoulli(rate) failures before the
-// next success.
-func nextGeometric(rate float64, rng *xrand.Source) int {
+// next success, clamped to limit (any sample >= limit ends the caller's
+// skip loop, so the clamp preserves the distribution exactly).
+func nextGeometric(rate float64, limit int, rng *xrand.Source) int {
 	// Inverse-CDF sampling: floor(ln U / ln(1-p)).
 	u := rng.Float64()
 	for u == 0 {
 		u = rng.Float64()
 	}
-	return int(math.Log(u) / math.Log(1-rate))
+	g := math.Log(u) / math.Log(1-rate)
+	// For rates below ~2^-53, 1-rate rounds to 1 and the sample is -Inf
+	// (ln U / +0); near rate 1 it can exceed the int range. A raw int
+	// conversion of either is platform-defined and once produced negative
+	// skip counts, panicking the bitset. Anything non-finite, negative or
+	// past the limit means "no flip in range".
+	if !(g >= 0) || g >= float64(limit) {
+		return limit
+	}
+	return int(g)
 }

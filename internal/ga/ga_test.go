@@ -229,6 +229,58 @@ func TestMutateBitsEdgeRates(t *testing.T) {
 	MutateBits(0, 0.5, xrand.New(9), func(i int) { t.Fatal("flip on empty chromosome") })
 }
 
+func TestMutateBitsTinyRate(t *testing.T) {
+	// Regression: for rates below ~2^-53, ln(1-rate) evaluates to +0 and
+	// the geometric sample was ln(U)/+0 = -Inf, whose int conversion
+	// produced a negative skip and a bitset panic in flip.
+	rng := xrand.New(11)
+	for _, rate := range []float64{1e-300, math.SmallestNonzeroFloat64, 1e-20} {
+		for trial := 0; trial < 100; trial++ {
+			MutateBits(64, rate, rng, func(i int) {
+				if i < 0 || i >= 64 {
+					t.Fatalf("rate %g: flip index %d out of range", rate, i)
+				}
+			})
+		}
+	}
+}
+
+func TestNextGeometricClamped(t *testing.T) {
+	rng := xrand.New(12)
+	for i := 0; i < 1000; i++ {
+		// Degenerate rate: the ideal sample is infinite, the clamp must
+		// return exactly limit ("no flip in range").
+		if g := nextGeometric(1e-300, 50, rng); g != 50 {
+			t.Fatalf("tiny-rate sample %d, want clamp to 50", g)
+		}
+		if g := nextGeometric(0.5, 50, rng); g < 0 || g > 50 {
+			t.Fatalf("sample %d outside [0, 50]", g)
+		}
+	}
+}
+
+func TestRouletteIndexDegenerateWeights(t *testing.T) {
+	rng := xrand.New(13)
+	// A NaN (or negative) total used to make every comparison false and
+	// silently return the last index; now degenerate-only weights fall
+	// back to a uniform pick.
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		counts[RouletteIndex([]float64{math.NaN(), -1, math.NaN()}, rng)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("degenerate weights never picked index %d", i)
+		}
+	}
+	// A NaN weight must not absorb probability mass from valid ones.
+	for i := 0; i < 1000; i++ {
+		if idx := RouletteIndex([]float64{math.NaN(), 1, math.Inf(-1)}, rng); idx != 1 {
+			t.Fatalf("the only valid weight lost the roulette to index %d", idx)
+		}
+	}
+}
+
 func TestMutateBitsVisitsAscendingDistinct(t *testing.T) {
 	rng := xrand.New(10)
 	for trial := 0; trial < 50; trial++ {

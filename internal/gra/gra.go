@@ -83,6 +83,14 @@ type Params struct {
 	// extension for online use where the generation budget is a ceiling,
 	// not a target.
 	Patience int
+
+	// Parallelism sizes the evaluation worker pool. Chromosome cost
+	// evaluations — the dominant work unit — fan out across this many
+	// goroutines, each with a private core.Evaluator, while all selection
+	// and variation randomness stays on the coordinator goroutine and
+	// results are reduced in input order; runs are therefore bit-identical
+	// at any setting. 0 means GOMAXPROCS; 1 runs fully serial.
+	Parallelism int
 }
 
 // DefaultParams returns the paper's tuned parameters.
@@ -133,6 +141,8 @@ func (pr Params) validate() error {
 		return fmt.Errorf("gra: elite period %d < 1", pr.EliteEvery)
 	case pr.Patience < 0:
 		return fmt.Errorf("gra: negative patience %d", pr.Patience)
+	case pr.Parallelism < 0:
+		return fmt.Errorf("gra: negative parallelism %d", pr.Parallelism)
 	}
 	return nil
 }
@@ -285,14 +295,13 @@ func Perturb(s *core.Scheme, fraction float64, rng *xrand.Source) {
 }
 
 // evolve runs the generational loop over an initial population of bitsets.
+// Variation is serial (all randomness on this goroutine); only the cost
+// evaluations fan out across the params.Parallelism worker pool.
 func evolve(p *core.Problem, params Params, init []*bitset.Set, rng *xrand.Source) (*Result, error) {
-	ev := newEvaluator(p)
+	ev := newEvaluator(p, params.Parallelism)
 	res := &Result{}
 
-	pop := make([]ga.Individual, len(init))
-	for i, bits := range init {
-		pop[i] = ev.evaluate(bits)
-	}
+	pop := ev.evaluateAll(init)
 	res.Evaluations += len(pop)
 
 	elite := pop[ga.Best(pop)].Clone()

@@ -9,29 +9,35 @@ import (
 
 // evaluator wraps the cost model with the GRA fitness rules: f = (D′−D)/D′,
 // and chromosomes with negative fitness are overwritten with the initial
-// (primaries-only) allocation at fitness zero.
+// (primaries-only) allocation at fitness zero. Batched evaluations fan out
+// across a pool of per-goroutine core.Evaluators; each task touches only
+// its own chromosome (plus the read-only primal template), so any worker
+// count produces the same individuals as a serial pass.
 type evaluator struct {
 	p       *core.Problem
-	cost    *core.Evaluator
-	primal  *bitset.Set // the primaries-only chromosome
+	pool    *core.EvalPool
+	primal  *bitset.Set // the primaries-only chromosome, read-only
 	geneLen int
 }
 
-func newEvaluator(p *core.Problem) *evaluator {
+func newEvaluator(p *core.Problem, parallelism int) *evaluator {
 	primal := bitset.New(p.Sites() * p.Objects())
 	for k := 0; k < p.Objects(); k++ {
 		primal.Set(p.Primary(k)*p.Objects() + k)
 	}
 	return &evaluator{
 		p:       p,
-		cost:    core.NewEvaluator(p),
+		pool:    core.NewEvalPool(p, parallelism),
 		primal:  primal,
 		geneLen: p.Objects(),
 	}
 }
 
-func (ev *evaluator) evaluate(bits *bitset.Set) ga.Individual {
-	d := ev.cost.Cost(bits)
+// evaluateWith scores one chromosome using the given (worker-private) cost
+// evaluator. It makes no RNG calls, which is what lets callers split
+// variation from evaluation without perturbing the random streams.
+func (ev *evaluator) evaluateWith(cost *core.Evaluator, bits *bitset.Set) ga.Individual {
+	d := cost.Cost(bits)
 	dPrime := ev.p.DPrime()
 	f := 0.0
 	if dPrime > 0 {
@@ -45,6 +51,21 @@ func (ev *evaluator) evaluate(bits *bitset.Set) ga.Individual {
 		f = 0
 	}
 	return ga.Individual{Bits: bits, Cost: d, Fitness: f}
+}
+
+// evaluate scores one chromosome inline on the caller's goroutine.
+func (ev *evaluator) evaluate(bits *bitset.Set) ga.Individual {
+	return ev.evaluateWith(ev.pool.Evaluator(), bits)
+}
+
+// evaluateAll scores a batch of chromosomes across the worker pool and
+// returns the individuals in input order.
+func (ev *evaluator) evaluateAll(cand []*bitset.Set) []ga.Individual {
+	out := make([]ga.Individual, len(cand))
+	ev.pool.Each(len(cand), func(cost *core.Evaluator, i int) {
+		out[i] = ev.evaluateWith(cost, cand[i])
+	})
+	return out
 }
 
 // geneUsage returns the storage consumed by gene (site) g of the chromosome.
@@ -63,18 +84,20 @@ func (ev *evaluator) geneValid(bits *bitset.Set, g int) bool {
 
 // crossoverSubpop builds the λ/2 crossover offspring: parents are paired at
 // random; each pair is crossed with probability µc (otherwise copied), and
-// cut-point genes are repaired to validity.
+// cut-point genes are repaired to validity. All variation runs on the
+// coordinator; the offspring are then batch-evaluated across the pool.
 func (ev *evaluator) crossoverSubpop(pop []ga.Individual, params Params, rng *xrand.Source) []ga.Individual {
-	out := make([]ga.Individual, 0, len(pop))
 	order := rng.Perm(len(pop))
+	cand := make([]*bitset.Set, 0, len(pop))
 	for idx := 0; idx+1 < len(order); idx += 2 {
 		a := pop[order[idx]].Bits.Clone()
 		b := pop[order[idx+1]].Bits.Clone()
 		if rng.Bool(params.CrossoverRate) {
 			ev.cross(a, b, params, rng)
 		}
-		out = append(out, ev.evaluate(a), ev.evaluate(b))
+		cand = append(cand, a, b)
 	}
+	out := ev.evaluateAll(cand)
 	if len(order)%2 == 1 {
 		// Odd population: the unpaired parent passes through unchanged.
 		out = append(out, pop[order[len(order)-1]].Clone())
@@ -112,10 +135,11 @@ func (ev *evaluator) sgaGeneration(pop []ga.Individual, params Params, rng *xran
 			ev.cross(next[order[idx]].Bits, next[order[idx+1]].Bits, params, rng)
 		}
 	}
+	cand := make([]*bitset.Set, len(next))
 	for i := range next {
-		next[i] = ev.evaluate(ev.mutate(next[i].Bits, params, rng))
+		cand[i] = ev.mutate(next[i].Bits, params, rng)
 	}
-	return next
+	return ev.evaluateAll(cand)
 }
 
 // repairCrossover restores gene validity after a two-point crossover. Only
@@ -183,13 +207,13 @@ func swapGeneComplement(a, b *bitset.Set, g, n int, spans []ga.CrossSpan) {
 }
 
 // mutationSubpop builds the λ/2 mutation offspring: each parent is cloned
-// and mutated.
+// and mutated on the coordinator, then the clones are batch-evaluated.
 func (ev *evaluator) mutationSubpop(pop []ga.Individual, params Params, rng *xrand.Source) []ga.Individual {
-	out := make([]ga.Individual, 0, len(pop))
+	cand := make([]*bitset.Set, len(pop))
 	for idx := range pop {
-		out = append(out, ev.evaluate(ev.mutate(pop[idx].Bits.Clone(), params, rng)))
+		cand[idx] = ev.mutate(pop[idx].Bits.Clone(), params, rng)
 	}
-	return out
+	return ev.evaluateAll(cand)
 }
 
 // mutate flips every bit with probability µm in place; flips that would

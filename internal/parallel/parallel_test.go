@@ -1,0 +1,69 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	for _, n := range []int{1, 2, 7} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		const n = 57
+		counts := make([]int32, n)
+		For(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForInlineWithOneWorker(t *testing.T) {
+	// With one worker every task must run on the calling goroutine, in
+	// order — the serial-reference path of the determinism guarantee.
+	var order []int
+	For(10, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial path ran out of order: %v", order)
+		}
+	}
+	For(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForWorkerIdentitiesDisjoint(t *testing.T) {
+	// Each task sees exactly one worker id in [0, workers); results written
+	// by index never collide.
+	const n, workers = 200, 8
+	ids := make([]int, n)
+	ForWorker(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+		ids[i] = w
+	})
+	// All ids valid implies the scratch-state contract held (the race
+	// detector covers simultaneous use of one id).
+	for i, w := range ids {
+		if w < 0 || w >= workers {
+			t.Fatalf("task %d ran on worker %d", i, w)
+		}
+	}
+}
