@@ -5,6 +5,7 @@
 //	drpbench -fig 1a                 # one figure, quick preset
 //	drpbench -fig all -preset paper  # full campaign at paper fidelity
 //	drpbench -fig 3a -csv            # machine-readable output
+//	drpbench -preset paper -timeout 5s -budget 2000000  # time-boxed GA cells
 //
 // Figures: 1a 1b 1c 1d (SRA/GRA savings & replicas vs sites/objects),
 // 2a 2b (runtimes vs sites), 3a 3b (savings vs update ratio / capacity),
@@ -18,9 +19,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"drp/internal/experiments"
 	"drp/internal/report"
+	"drp/internal/solver"
 )
 
 func main() {
@@ -40,6 +43,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		pop      = fs.Int("pop", 0, "override: GRA population size")
 		seed     = fs.Uint64("seed", 0, "override: campaign seed")
 		par      = fs.Int("par", 0, "worker count for sweep cells (0 = all cores, 1 = serial); results are identical at any setting")
+		timeout  = fs.Duration("timeout", 0, "wall-clock cap per GA run; capped runs report their best scheme so far (0 = none)")
+		budget   = fs.Int("budget", 0, "cost-model evaluation cap per GA run (0 = none)")
+		progress = fs.Bool("progress", false, "stream per-generation solver progress to stderr")
 		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
 		svgDir   = fs.String("svg", "", "also write each figure as an SVG chart into this directory")
 		quiet    = fs.Bool("q", false, "suppress progress output")
@@ -79,6 +85,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if set["par"] {
 		cfg.Parallelism = *par
+	}
+	cfg.CellTimeout = *timeout
+	cfg.CellBudget = *budget
+	if *progress {
+		// Cells run concurrently, so the observer must be synchronized.
+		cfg.Observer = solver.Synchronized(solver.ObserverFunc(func(pr solver.Progress) {
+			fmt.Fprintf(stderr, "%s it=%d best=%.4f evals=%d elapsed=%v\n",
+				pr.Algorithm, pr.Iteration, pr.BestFitness, pr.Evaluations, pr.Elapsed.Round(time.Millisecond))
+		}))
 	}
 
 	logFn := func(format string, a ...interface{}) {

@@ -45,6 +45,8 @@ func run(args []string, stdout io.Writer) error {
 		driftCh  = fs.Float64("drift-ch", 6.0, "pattern change magnitude (6.0 = +600%)")
 		driftR   = fs.Float64("drift-reads", 0.5, "share of drifting objects whose reads (vs updates) grow")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
+		adaptTO  = fs.Duration("adapt-timeout", 0, "wall-clock cap per epoch re-optimisation; a missed deadline keeps the current scheme (0 = none)")
+		adaptBud = fs.Int("adapt-budget", 0, "cost-model evaluation cap per epoch re-optimisation (0 = none)")
 		failSite = fs.Int("fail-site", -1, "site to take offline (-1 disables)")
 		failFrom = fs.Int("fail-from", 0, "first failed epoch")
 		failTo   = fs.Int("fail-to", 0, "one past the last failed epoch")
@@ -76,12 +78,14 @@ func run(args []string, stdout io.Writer) error {
 	graParams.PopSize = 20
 	graParams.Generations = 20
 	cfg := cluster.Config{
-		Epochs:     *epochs,
-		Policy:     pol,
-		Threshold:  2.0,
-		GRAParams:  graParams,
-		AGRAParams: agra.DefaultParams(),
-		Seed:       *seed,
+		Epochs:       *epochs,
+		Policy:       pol,
+		Threshold:    2.0,
+		GRAParams:    graParams,
+		AGRAParams:   agra.DefaultParams(),
+		Seed:         *seed,
+		EpochTimeout: *adaptTO,
+		AdaptBudget:  *adaptBud,
 	}
 	if *drift > 0 {
 		cfg.Drift = &workload.ChangeSpec{Ch: *driftCh, ObjectShare: *drift, ReadShare: *driftR}
@@ -110,11 +114,20 @@ func run(args []string, stdout io.Writer) error {
 		*sites, *objects, pol, 100**drift)
 	fmt.Fprintf(stdout, "%5s %9s %8s %12s %12s %7s %9s %8s %8s %8s %9s\n",
 		"epoch", "reads", "writes", "serveNTC", "modelNTC", "saved%", "meanRead", "p95Read", "migrate", "changed", "failures")
+	degraded := 0
 	for _, e := range res.Epochs {
-		fmt.Fprintf(stdout, "%5d %9d %8d %12d %12d %7.2f %9.1f %8d %8d %8d %9d\n",
+		mark := ""
+		if e.AdaptDegraded {
+			mark = " *"
+			degraded++
+		}
+		fmt.Fprintf(stdout, "%5d %9d %8d %12d %12d %7.2f %9.1f %8d %8d %8d %9d%s\n",
 			e.Epoch, e.Reads, e.Writes, e.ServeNTC, e.ModelNTC, e.Savings,
-			e.MeanReadCost, e.ReadCostP95, e.Migrations, e.Changed, e.FailedReads+e.FailedWrites)
+			e.MeanReadCost, e.ReadCostP95, e.Migrations, e.Changed, e.FailedReads+e.FailedWrites, mark)
 	}
 	fmt.Fprintf(stdout, "\ntotal NTC (serve+migrate): %d\n", res.TotalNTC())
+	if degraded > 0 {
+		fmt.Fprintf(stdout, "adapt misses (*): %d epoch(s) kept the previous scheme after hitting the re-optimisation cap\n", degraded)
+	}
 	return nil
 }

@@ -6,8 +6,15 @@
 //
 //	drpsolve -algo gra -in problem.json -out scheme.json
 //	drpsolve -algo sra -in problem.json
+//	drpsolve -algo gra -timeout 2s -budget 100000 -progress -in problem.json
 //
 // Algorithms: sra, gra, random, readonly, none, optimal (tiny instances).
+//
+// Anytime controls: -timeout caps wall-clock time, -budget caps cost-model
+// evaluations, -progress streams per-iteration status to stderr. An
+// interrupted run still prints the best valid scheme found so far; the
+// "stopped:" line says why it ended. Flags that do not apply to the chosen
+// algorithm are rejected (e.g. -pop with -algo sra).
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"drp"
@@ -28,19 +36,59 @@ func main() {
 	}
 }
 
+// flagsFor maps each algorithm to the flags it consumes, beyond the common
+// set; setting any other flag is an error, not a silent no-op.
+var flagsFor = map[string]map[string]bool{
+	"sra":      {"timeout": true, "budget": true, "progress": true},
+	"gra":      {"seed": true, "pop": true, "gens": true, "par": true, "timeout": true, "budget": true, "progress": true},
+	"hill":     {"timeout": true, "budget": true, "progress": true},
+	"optimal":  {"maxbits": true, "timeout": true, "budget": true},
+	"random":   {"seed": true},
+	"readonly": {},
+	"none":     {},
+}
+
+var commonFlags = map[string]bool{"algo": true, "in": true, "out": true, "replay": true}
+
+// checkFlags rejects explicitly-set flags the chosen algorithm ignores.
+func checkFlags(fs *flag.FlagSet, algo string) error {
+	spec, ok := flagsFor[algo]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	var bad []string
+	fs.Visit(func(f *flag.Flag) {
+		if !commonFlags[f.Name] && !spec[f.Name] {
+			bad = append(bad, f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("flag -%s does not apply to algorithm %q", bad[0], algo)
+	}
+	return nil
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("drpsolve", flag.ContinueOnError)
 	var (
-		algo    = fs.String("algo", "sra", "algorithm: sra | gra | hill | random | readonly | none | optimal")
-		in      = fs.String("in", "", "problem JSON (default: stdin)")
-		out     = fs.String("out", "", "write the scheme as JSON to this file")
-		seed    = fs.Uint64("seed", 1, "algorithm seed (gra, random)")
-		pop     = fs.Int("pop", 50, "GRA population size Np")
-		gens    = fs.Int("gens", 80, "GRA generations Ng")
-		maxBits = fs.Int("maxbits", 24, "optimal: maximum free placement bits")
-		replay  = fs.String("replay", "", "replay a request trace (JSON lines) against the solved scheme")
+		algo     = fs.String("algo", "sra", "algorithm: sra | gra | hill | random | readonly | none | optimal")
+		in       = fs.String("in", "", "problem JSON (default: stdin)")
+		out      = fs.String("out", "", "write the scheme as JSON to this file")
+		seed     = fs.Uint64("seed", 1, "algorithm seed (gra, random)")
+		pop      = fs.Int("pop", 50, "GRA population size Np")
+		gens     = fs.Int("gens", 80, "GRA generations Ng")
+		par      = fs.Int("par", 0, "GRA evaluation workers (0 = all cores, 1 = serial)")
+		maxBits  = fs.Int("maxbits", 24, "optimal: maximum free placement bits")
+		timeout  = fs.Duration("timeout", 0, "wall-clock limit; the best scheme so far is reported (0 = none)")
+		budget   = fs.Int("budget", 0, "cost-model evaluation limit (0 = none)")
+		progress = fs.Bool("progress", false, "stream per-iteration progress to stderr")
+		replay   = fs.String("replay", "", "replay a request trace (JSON lines) against the solved scheme")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkFlags(fs, *algo); err != nil {
 		return err
 	}
 
@@ -58,36 +106,47 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	runOpts := drp.RunOptions{Timeout: *timeout, Budget: *budget}
+	if *progress {
+		runOpts.Observer = drp.ObserverFunc(func(pr drp.SolverProgress) {
+			fmt.Fprintf(os.Stderr, "%s it=%d best=%.4f cost=%d evals=%d elapsed=%v\n",
+				pr.Algorithm, pr.Iteration, pr.BestFitness, pr.BestCost, pr.Evaluations, pr.Elapsed.Round(time.Millisecond))
+		})
+	}
+
 	start := time.Now()
 	var scheme *drp.Scheme
+	var stats *drp.SolverStats
 	switch *algo {
 	case "sra":
-		scheme = drp.SRA(p).Scheme
+		res := drp.SRAWithOptions(p, drp.SRAOptions{Run: runOpts})
+		scheme, stats = res.Scheme, &res.Stats
 	case "gra":
 		params := drp.DefaultGRAParams()
 		params.PopSize = *pop
 		params.Generations = *gens
 		params.Seed = *seed
-		res, err := drp.GRA(p, params)
+		params.Parallelism = *par
+		res, err := drp.GRAWith(p, params, runOpts)
 		if err != nil {
 			return err
 		}
-		scheme = res.Scheme
+		scheme, stats = res.Scheme, &res.Stats
 	case "random":
 		scheme = drp.RandomPlacement(p, *seed)
 	case "readonly":
 		scheme = drp.ReadOnlyGreedy(p)
 	case "hill":
-		scheme = drp.HillClimb(p, nil, 0)
+		res := drp.HillClimbWith(p, nil, 0, runOpts)
+		scheme, stats = res.Scheme, &res.Stats
 	case "none":
 		scheme = drp.NoReplication(p)
 	case "optimal":
-		scheme, err = drp.Optimal(p, *maxBits)
+		res, err := drp.OptimalWith(p, *maxBits, runOpts)
 		if err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		scheme, stats = res.Scheme, &res.Stats
 	}
 	elapsed := time.Since(start)
 
@@ -100,6 +159,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "NTC savings: %.2f%%\n", p.Savings(cost))
 	fmt.Fprintf(stdout, "replicas:    %d beyond primaries\n", scheme.TotalReplicas())
 	fmt.Fprintf(stdout, "elapsed:     %v\n", elapsed)
+	if stats != nil {
+		fmt.Fprintf(stdout, "evaluations: %d\n", stats.Evaluations)
+		fmt.Fprintf(stdout, "stopped:     %s\n", stats.Stopped)
+	}
 
 	if *replay != "" {
 		f, err := os.Open(*replay)

@@ -105,6 +105,84 @@ func TestSolveHillClimb(t *testing.T) {
 	}
 }
 
+func TestSolveRejectsInapplicableFlags(t *testing.T) {
+	path := writeProblem(t)
+	bad := [][]string{
+		{"-algo", "sra", "-pop", "10", "-in", path},
+		{"-algo", "sra", "-seed", "2", "-in", path},
+		{"-algo", "gra", "-maxbits", "10", "-in", path},
+		{"-algo", "random", "-timeout", "1s", "-in", path},
+		{"-algo", "readonly", "-budget", "5", "-in", path},
+		{"-algo", "none", "-progress", "-in", path},
+		{"-algo", "optimal", "-progress", "-in", path},
+		{"-algo", "hill", "-gens", "3", "-in", path},
+	}
+	for _, args := range bad {
+		err := run(args, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("args %v accepted", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "does not apply") {
+			t.Errorf("args %v: unexpected error %v", args, err)
+		}
+	}
+	// The same flags at their defaults (unset) are fine.
+	if err := run([]string{"-algo", "sra", "-in", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveAnytimeFlags(t *testing.T) {
+	path := writeProblem(t)
+	var out bytes.Buffer
+	// A generous budget never fires: the run completes and reports stats.
+	if err := run([]string{"-algo", "gra", "-pop", "8", "-gens", "5", "-budget", "1000000", "-timeout", "1m", "-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stopped:     completed") {
+		t.Fatalf("missing completed stop line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "evaluations: ") {
+		t.Fatalf("missing evaluations line:\n%s", out.String())
+	}
+
+	// A tiny budget fires and is reported, but the scheme is still printed.
+	out.Reset()
+	if err := run([]string{"-algo", "gra", "-pop", "8", "-gens", "50", "-budget", "10", "-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stopped:     budget") {
+		t.Fatalf("missing budget stop line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "NTC savings") {
+		t.Fatalf("interrupted run printed no scheme summary:\n%s", out.String())
+	}
+}
+
+func TestSolveParFlagDeterministic(t *testing.T) {
+	path := writeProblem(t)
+	outputs := make([]string, 0, 2)
+	for _, par := range []string{"1", "4"} {
+		var out bytes.Buffer
+		if err := run([]string{"-algo", "gra", "-pop", "8", "-gens", "5", "-par", par, "-in", path}, &out); err != nil {
+			t.Fatal(err)
+		}
+		// Strip the timing lines, which legitimately vary.
+		var kept []string
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "elapsed:") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		outputs = append(outputs, strings.Join(kept, "\n"))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("-par changed the result:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
 func TestSolveReplaysTrace(t *testing.T) {
 	dir := t.TempDir()
 	problemPath := filepath.Join(dir, "p.json")

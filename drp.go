@@ -35,6 +35,18 @@
 // 1 runs fully serial. All randomness stays on the coordinating
 // goroutine — workers only evaluate — so for a fixed seed the results are
 // bit-for-bit identical at every worker count.
+//
+// # Anytime runs
+//
+// Every solver has a With-variant (SRAWithOptions, GRAWith, GRAContinue,
+// AdaptWith, HillClimbWith, OptimalWith) accepting RunOptions: a
+// context.Context, a wall-clock Timeout, an evaluation Budget and a
+// progress Observer. Interruption is checked only at generation/iteration
+// boundaries, so an uninterrupted run is bit-identical to one without
+// controls, a GRA run cancelled after generation g returns exactly what a
+// Generations=g run would, and an interrupted run always returns the best
+// valid scheme found so far. Each result's SolverStats records the
+// evaluations, iterations, elapsed time and the StopReason.
 package drp
 
 import (
@@ -47,6 +59,7 @@ import (
 	"drp/internal/core"
 	"drp/internal/gra"
 	"drp/internal/netsim"
+	"drp/internal/solver"
 	"drp/internal/sra"
 	"drp/internal/workload"
 	"drp/internal/xrand"
@@ -113,7 +126,45 @@ type (
 	// DistSRAResult is the distributed (token-passing) SRA outcome with
 	// protocol-message accounting.
 	DistSRAResult = sra.DistResult
+	// HillClimbResult is the local-search outcome with move and evaluation
+	// accounting.
+	HillClimbResult = baseline.HillClimbResult
+	// OptimalResult is the exhaustive search outcome; its scheme is the
+	// true optimum only when the run completed.
+	OptimalResult = baseline.OptimalResult
 )
+
+// Anytime solver runtime types (see the package comment's "Anytime runs").
+type (
+	// RunOptions carries a run's anytime controls: Context, Timeout,
+	// Budget, Observer. The zero value runs open-loop to completion.
+	RunOptions = solver.Run
+	// SolverStats is the uniform run accounting attached to every result:
+	// evaluations, iterations, elapsed and the stop reason.
+	SolverStats = solver.Stats
+	// SolverProgress is one per-iteration observation.
+	SolverProgress = solver.Progress
+	// SolverObserver receives SolverProgress events.
+	SolverObserver = solver.Observer
+	// ObserverFunc adapts a function to SolverObserver.
+	ObserverFunc = solver.ObserverFunc
+	// StopReason says why a run ended: completed, cancelled, deadline or
+	// budget.
+	StopReason = solver.StopReason
+)
+
+// Stop reasons.
+const (
+	StopCompleted = solver.StopCompleted
+	StopCancelled = solver.StopCancelled
+	StopDeadline  = solver.StopDeadline
+	StopBudget    = solver.StopBudget
+)
+
+// SynchronizedObserver wraps an observer with a mutex for solvers that emit
+// progress from concurrent workers (AdaptWith with Parallelism != 1, the
+// experiment harness).
+func SynchronizedObserver(o SolverObserver) SolverObserver { return solver.Synchronized(o) }
 
 // Cluster simulation types (see ClusterRun).
 type (
@@ -231,10 +282,22 @@ func GRA(p *Problem, params GRAParams) (*GRAResult, error) {
 	return gra.Run(p, params)
 }
 
+// GRAWith is GRA under anytime controls: a run interrupted after
+// generation g returns exactly what a Generations=g run would, with
+// Stats.Stopped recording why it ended.
+func GRAWith(p *Problem, params GRAParams, run RunOptions) (*GRAResult, error) {
+	return gra.RunWith(p, params, run)
+}
+
 // GRAWithPopulation runs GRA from a caller-supplied initial population of
 // placement matrices (as produced by Scheme.Bits or a previous GRAResult).
 func GRAWithPopulation(p *Problem, params GRAParams, init []*PlacementBits) (*GRAResult, error) {
 	return gra.RunWithPopulation(p, params, init)
+}
+
+// GRAContinue is GRAWithPopulation under anytime controls.
+func GRAContinue(p *Problem, params GRAParams, init []*PlacementBits, run RunOptions) (*GRAResult, error) {
+	return gra.ContinueWith(p, params, init, run)
 }
 
 // DefaultAGRAParams returns the paper's micro-GA parameters
@@ -246,6 +309,14 @@ func DefaultAGRAParams() AGRAParams { return agra.DefaultParams() }
 // (0 realises the best transcribed scheme directly).
 func Adapt(in AdaptInput, params AGRAParams, mini GRAParams, miniGenerations int) (*AdaptResult, error) {
 	return agra.Adapt(in, params, mini, miniGenerations)
+}
+
+// AdaptWith is Adapt under anytime controls: the micro-GAs share one
+// evaluation budget, the mini-GRA inherits whatever deadline and budget
+// remain, and an interrupted adaptation still returns a valid scheme built
+// from the per-object results computed so far.
+func AdaptWith(in AdaptInput, params AGRAParams, mini GRAParams, miniGenerations int, run RunOptions) (*AdaptResult, error) {
+	return agra.AdaptWith(in, params, mini, miniGenerations, run)
 }
 
 // Baselines.
@@ -265,11 +336,24 @@ func Optimal(p *Problem, maxFreeBits int) (*Scheme, error) {
 	return baseline.Optimal(p, maxFreeBits)
 }
 
+// OptimalWith is the exhaustive search under anytime controls: when
+// interrupted it returns the best scheme among the leaves enumerated so
+// far, flagged by a non-completed stop reason.
+func OptimalWith(p *Problem, maxFreeBits int, run RunOptions) (*OptimalResult, error) {
+	return baseline.OptimalWith(p, maxFreeBits, run)
+}
+
 // HillClimb runs steepest-descent local search over single-replica
 // add/remove moves from start (primaries-only if nil), stopping at a local
 // optimum or after maxMoves accepted moves (0 = unbounded).
 func HillClimb(p *Problem, start *Scheme, maxMoves int) *Scheme {
 	return baseline.HillClimb(p, start, maxMoves).Scheme
+}
+
+// HillClimbWith is HillClimb under anytime controls, returning the full
+// result with move and evaluation accounting.
+func HillClimbWith(p *Problem, start *Scheme, maxMoves int, run RunOptions) *HillClimbResult {
+	return baseline.HillClimbWith(p, start, maxMoves, run)
 }
 
 // Topology generators. All costs are drawn uniformly from [minCost, maxCost].

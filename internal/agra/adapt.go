@@ -8,6 +8,7 @@ import (
 	"drp/internal/core"
 	"drp/internal/gra"
 	"drp/internal/parallel"
+	"drp/internal/solver"
 	"drp/internal/xrand"
 )
 
@@ -40,10 +41,23 @@ type Result struct {
 	// population, retained for the next adaptation round.
 	Population []*bitset.Set
 	// MicroElapsed and MiniElapsed split the runtime between the per-object
-	// micro-GAs and the transcription/mini-GRA stage.
+	// micro-GAs and everything after them (transcription, repair and the
+	// mini-GRA polish or direct realisation). All three durations come from
+	// the one controller clock started at the Adapt entry point, so
+	// Elapsed == MicroElapsed + MiniElapsed exactly and Elapsed mirrors
+	// Stats.Elapsed.
 	MicroElapsed time.Duration
 	MiniElapsed  time.Duration
 	Elapsed      time.Duration
+	// Stats is the solver-runtime accounting: Evaluations counts V_k and
+	// full-scheme cost evaluations across the micro-GAs, the transcription
+	// realisation and the mini-GRA (all charged to one shared meter, which
+	// is what makes the budget a single pool); Iterations sums completed
+	// micro-GA generations plus mini-GRA generations; Stopped tells whether
+	// the pipeline was interrupted. An interrupted adaptation still returns
+	// a valid scheme — the micro results computed so far are transcribed
+	// and the best transcription is realised directly, skipping the polish.
+	Stats solver.Stats
 }
 
 // Adapt runs the full AGRA pipeline: one micro-GA per changed object, then
@@ -53,6 +67,23 @@ type Result struct {
 // sets the transcription population size); the paper uses the static GRA
 // parameters with 5–10 generations.
 func Adapt(in Input, params Params, miniParams gra.Params, miniGenerations int) (*Result, error) {
+	return AdaptWith(in, params, miniParams, miniGenerations, solver.Run{})
+}
+
+// AdaptWith runs the AGRA pipeline under anytime controls. All micro-GAs
+// share the controller's single evaluation meter — so a budget bounds the
+// whole fan-out, not each object — and each checks cancellation and
+// deadlines at its own generation boundaries. If the controls trip, the
+// per-object results computed so far are still transcribed and the best
+// transcription realised directly (the polish is skipped), so an
+// interrupted adaptation always returns a valid scheme; otherwise the
+// mini-GRA inherits the remaining deadline and budget. Uninterrupted runs
+// are bit-identical to Adapt at every Parallelism setting; when the budget
+// trips mid-fan-out, which micro-GAs have already passed their last
+// boundary may vary with scheduling, so interrupted parallel runs are
+// best-effort rather than reproducible. Observers are invoked from worker
+// goroutines when Parallelism != 1 — wrap with solver.Synchronized.
+func AdaptWith(in Input, params Params, miniParams gra.Params, miniGenerations int, run solver.Run) (*Result, error) {
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
@@ -62,7 +93,7 @@ func Adapt(in Input, params Params, miniParams gra.Params, miniGenerations int) 
 	if miniParams.PopSize < 2 {
 		return nil, fmt.Errorf("agra: mini-GRA population size %d < 2", miniParams.PopSize)
 	}
-	start := time.Now()
+	c := solver.Start("agra", run)
 	rng := xrand.New(params.Seed)
 	p := in.Problem
 
@@ -72,11 +103,10 @@ func Adapt(in Input, params Params, miniParams gra.Params, miniGenerations int) 
 	}
 
 	res := &Result{}
-	microStart := time.Now()
 	// The micro-GAs are independent by construction, so they fan out
 	// across params.Parallelism workers. Every RNG fork happens here on
 	// the coordinator, in input order, before any goroutine starts; each
-	// RunObject builds its own core.Evaluator, reads the shared problem
+	// runObject builds its own core.Evaluator, reads the shared problem
 	// and GRA population (both immutable during the fan-out) and writes
 	// its result by index — bit-identical to the serial loop.
 	type microTask struct {
@@ -90,35 +120,41 @@ func Adapt(in Input, params Params, miniParams gra.Params, miniGenerations int) 
 	objResults := make([]*ObjectResult, len(tasks))
 	errs := make([]error, len(tasks))
 	parallel.For(len(tasks), parallel.Workers(params.Parallelism), func(i int) {
-		objResults[i], errs[i] = RunObject(p, in.Changed[i], tasks[i].current, in.GRAPopulation, params, tasks[i].rng)
+		objResults[i], errs[i] = runObject(p, in.Changed[i], tasks[i].current, in.GRAPopulation, params, tasks[i].rng, c)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	iterations := 0
 	for _, or := range objResults {
 		res.Objects = append(res.Objects, *or)
+		iterations += or.Generations
 	}
-	res.MicroElapsed = time.Since(microStart)
+	res.MicroElapsed = c.Elapsed()
 
-	miniStart := time.Now()
 	pop := transcribe(p, in, objResults, miniParams.PopSize, repair, rng)
 
-	if miniGenerations > 0 {
+	stop, halted := c.Check()
+	if miniGenerations > 0 && !halted {
 		mp := miniParams
 		mp.Generations = miniGenerations
 		mp.Seed = rng.Uint64()
-		graRes, err := gra.RunWithPopulation(p, mp, pop)
+		graRes, err := gra.ContinueWith(p, mp, pop, c.Sub())
 		if err != nil {
 			return nil, fmt.Errorf("agra: mini-GRA: %w", err)
 		}
+		stop = c.Absorb(graRes.Stats)
+		iterations += graRes.Stats.Iterations
 		res.Scheme = graRes.Scheme
 		res.Cost = graRes.Cost
 		res.Population = graRes.Population
 	} else {
-		// Option (a): realise the best transcribed chromosome directly.
-		best, bestCost := pickBest(p, pop)
+		// Option (a): realise the best transcribed chromosome directly —
+		// also the graceful-degradation path when the controls tripped
+		// before (or during) the fan-out.
+		best, bestCost := pickBest(p, pop, c)
 		scheme, err := core.SchemeFromBits(p, best)
 		if err != nil {
 			return nil, fmt.Errorf("agra: transcribed chromosome invalid: %w", err)
@@ -127,9 +163,10 @@ func Adapt(in Input, params Params, miniParams gra.Params, miniGenerations int) 
 		res.Cost = bestCost
 		res.Population = pop
 	}
-	res.MiniElapsed = time.Since(miniStart)
 	res.Savings = p.Savings(res.Cost)
-	res.Elapsed = time.Since(start)
+	res.Stats = c.Finish(iterations, stop)
+	res.Elapsed = res.Stats.Elapsed
+	res.MiniElapsed = res.Elapsed - res.MicroElapsed
 	return res, nil
 }
 
@@ -181,8 +218,9 @@ func transcribe(p *core.Problem, in Input, objs []*ObjectResult, popSize int, re
 	return out
 }
 
-func pickBest(p *core.Problem, pop []*bitset.Set) (*bitset.Set, int64) {
+func pickBest(p *core.Problem, pop []*bitset.Set, c *solver.Controller) (*bitset.Set, int64) {
 	ev := core.NewEvaluator(p)
+	ev.SetMeter(c.Meter())
 	var best *bitset.Set
 	var bestCost int64
 	for _, bits := range pop {

@@ -15,6 +15,7 @@ import (
 	"drp/internal/bitset"
 	"drp/internal/core"
 	"drp/internal/ga"
+	"drp/internal/solver"
 	"drp/internal/xrand"
 )
 
@@ -108,6 +109,11 @@ type ObjectResult struct {
 	// Evaluations counts V_k evaluations.
 	Evaluations int
 	Elapsed     time.Duration
+	// Generations is the number of generations actually completed, and
+	// Stopped why the micro-GA ended — under Adapt's shared anytime
+	// controls a micro-GA may stop early at a generation boundary.
+	Generations int
+	Stopped     solver.StopReason
 }
 
 // RunObject evolves a replication scheme for object k against problem p
@@ -118,6 +124,15 @@ type ObjectResult struct {
 // with the current network scheme of k always present, standing in for the
 // highest-fitness GRA solution. graPop may be nil.
 func RunObject(p *core.Problem, k int, current []int, graPop []*bitset.Set, params Params, rng *xrand.Source) (*ObjectResult, error) {
+	return runObject(p, k, current, graPop, params, rng, solver.Start("agra", solver.Run{}))
+}
+
+// runObject is RunObject under a caller-owned controller: Adapt hands every
+// micro-GA the same one, so they share a single evaluation meter (and hence
+// one budget) and each checks the shared controls at its own generation
+// boundaries. The controller's Check/Charge/Observe are goroutine-safe, so
+// the fan-out can run micro-GAs concurrently.
+func runObject(p *core.Problem, k int, current []int, graPop []*bitset.Set, params Params, rng *xrand.Source, c *solver.Controller) (*ObjectResult, error) {
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
@@ -128,6 +143,7 @@ func RunObject(p *core.Problem, k int, current []int, graPop []*bitset.Set, para
 	m := p.Sites()
 	sp := p.Primary(k)
 	ev := &objectEval{p: p, k: k, cost: core.NewEvaluator(p)}
+	ev.cost.SetMeter(c.Meter())
 
 	// Seed population.
 	pop := make([]ga.Individual, 0, params.PopSize)
@@ -161,7 +177,13 @@ func RunObject(p *core.Problem, k int, current []int, graPop []*bitset.Set, para
 	}
 
 	elite := pop[ga.Best(pop)].Clone()
+	stop := solver.StopCompleted
+	lastGen := 0
 	for gen := 1; gen <= params.Generations; gen++ {
+		if reason, halt := c.Check(); halt {
+			stop = reason
+			break
+		}
 		// Regular sampling space: parents are selected, then crossover and
 		// mutation transform the selected set in place; unselected parents
 		// do not survive.
@@ -191,6 +213,8 @@ func RunObject(p *core.Problem, k int, current []int, graPop []*bitset.Set, para
 		if gen%params.EliteEvery == 0 {
 			pop[ga.Worst(pop)] = elite.Clone()
 		}
+		lastGen = gen
+		c.Observe(gen, elite.Fitness, ga.MeanFitness(pop), elite.Cost)
 	}
 
 	res := &ObjectResult{
@@ -198,6 +222,8 @@ func RunObject(p *core.Problem, k int, current []int, graPop []*bitset.Set, para
 		Fitness:     elite.Fitness,
 		Evaluations: ev.evals,
 		Elapsed:     time.Since(start),
+		Generations: lastGen,
+		Stopped:     stop,
 	}
 	res.Best = sites(elite.Bits)
 	res.Population = make([]*bitset.Set, len(pop))

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+
+	"drp/internal/solver"
+)
+
+func TestHillClimbExpiredDeadlineKeepsStart(t *testing.T) {
+	p := gen(t, 8, 10, 0.05, 0.2, 41)
+	res := HillClimbWith(p, nil, 0, solver.Run{Timeout: -1})
+	if res.Stats.Stopped != solver.StopDeadline {
+		t.Fatalf("stopped %v, want deadline", res.Stats.Stopped)
+	}
+	if res.Moves != 0 || res.Stats.Iterations != 0 {
+		t.Fatalf("expired run accepted %d moves", res.Moves)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatalf("scheme invalid: %v", err)
+	}
+	if res.Scheme.TotalReplicas() != 0 {
+		t.Fatal("expired run should return the primaries-only start")
+	}
+}
+
+func TestHillClimbBudgetTruncates(t *testing.T) {
+	p := gen(t, 8, 10, 0.02, 0.3, 42)
+	full := HillClimb(p, nil, 0)
+	if full.Moves < 2 {
+		t.Skip("instance converges too fast to truncate")
+	}
+	res := HillClimbWith(p, nil, 0, solver.Run{Budget: 1})
+	if res.Stats.Stopped != solver.StopBudget {
+		t.Fatalf("stopped %v, want budget", res.Stats.Stopped)
+	}
+	// Soft cap: the first round completes (one accepted move), then stops.
+	if res.Moves != 1 {
+		t.Fatalf("accepted %d moves under a 1-evaluation budget, want 1", res.Moves)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatalf("scheme invalid: %v", err)
+	}
+	// Steepest descent only improves, so even the truncated scheme beats
+	// the primaries-only start.
+	if res.Scheme.Cost() >= p.DPrime() {
+		t.Fatal("truncated run did not improve on the start")
+	}
+}
+
+func TestHillClimbUnfiredControlsMatchOpenLoop(t *testing.T) {
+	p := gen(t, 8, 10, 0.05, 0.2, 43)
+	plain := HillClimb(p, nil, 0)
+	controlled := HillClimbWith(p, nil, 0, solver.Run{Budget: 1 << 30, Context: context.Background()})
+	if controlled.Stats.Stopped != solver.StopCompleted {
+		t.Fatalf("stopped %v", controlled.Stats.Stopped)
+	}
+	if !plain.Scheme.Equal(controlled.Scheme) || plain.Moves != controlled.Moves || plain.Evaluations != controlled.Evaluations {
+		t.Fatal("unfired controls changed the hill climb")
+	}
+	if controlled.Stats.Evaluations != controlled.Evaluations || controlled.Stats.Iterations != controlled.Moves {
+		t.Fatalf("stats mirror broken: %+v", controlled.Stats)
+	}
+}
+
+func TestOptimalInterruptedReturnsBestSoFar(t *testing.T) {
+	p := gen(t, 3, 3, 0.05, 0.5, 43)
+	full, err := OptimalWith(p, 16, solver.Run{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Stopped != solver.StopCompleted {
+		t.Fatalf("full search stopped %v", full.Stats.Stopped)
+	}
+	if full.Stats.Iterations < 4 {
+		t.Fatalf("instance enumerates only %d leaves; too tight to truncate", full.Stats.Iterations)
+	}
+
+	part, err := OptimalWith(p, 16, solver.Run{Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Stats.Stopped != solver.StopBudget {
+		t.Fatalf("stopped %v, want budget", part.Stats.Stopped)
+	}
+	if part.Stats.Iterations >= full.Stats.Iterations {
+		t.Fatalf("budgeted search covered %d leaves, full %d", part.Stats.Iterations, full.Stats.Iterations)
+	}
+	if err := part.Scheme.Validate(); err != nil {
+		t.Fatalf("partial scheme invalid: %v", err)
+	}
+	// Best-so-far can only be worse than (or equal to) the true optimum.
+	if part.Scheme.Cost() < full.Scheme.Cost() {
+		t.Fatal("partial search beat the exhaustive optimum")
+	}
+}
+
+func TestOptimalGateBeforeControls(t *testing.T) {
+	p := gen(t, 6, 8, 0.05, 0.2, 45)
+	// The free-bits gate must fire even with an already-expired deadline.
+	if _, err := OptimalWith(p, 4, solver.Run{Timeout: -1}); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestOptimalCancelled(t *testing.T) {
+	p := gen(t, 3, 3, 0.05, 0.3, 46)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := OptimalWith(p, 16, solver.Run{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stopped != solver.StopCancelled {
+		t.Fatalf("stopped %v, want cancelled", res.Stats.Stopped)
+	}
+	if res.Stats.Iterations != 0 {
+		t.Fatalf("cancelled search still enumerated %d leaves", res.Stats.Iterations)
+	}
+	// The primaries-only starting point is always a valid fallback.
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatalf("fallback scheme invalid: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"drp/internal/core"
+	"drp/internal/solver"
 	"drp/internal/xrand"
 )
 
@@ -73,11 +74,34 @@ func ReadOnlyGreedy(p *core.Problem) *core.Scheme {
 	}
 }
 
+// OptimalResult reports an exhaustive search, which under anytime controls
+// may cover only part of the space.
+type OptimalResult struct {
+	// Scheme is the best placement among the leaves enumerated so far; it
+	// is the true optimum only when Stats.Stopped is StopCompleted.
+	Scheme *core.Scheme
+	// Stats counts enumerated leaves as both Evaluations and Iterations
+	// (every leaf costs one full-scheme evaluation).
+	Stats solver.Stats
+}
+
 // Optimal exhaustively searches every valid placement and returns a
 // minimum-cost scheme. The search space is 2^(M·N−N) (primary bits are
 // fixed), so it is gated to instances with at most maxFreeBits free bits;
 // it exists to measure heuristic optimality gaps in tests.
 func Optimal(p *core.Problem, maxFreeBits int) (*core.Scheme, error) {
+	res, err := OptimalWith(p, maxFreeBits, solver.Run{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Scheme, nil
+}
+
+// OptimalWith is the exhaustive search under anytime controls — the one
+// solver here that is otherwise uninterruptible for hours. Interruption is
+// checked before each leaf evaluation; the best-so-far scheme (never worse
+// than primaries-only) is returned with a non-completed stop reason.
+func OptimalWith(p *core.Problem, maxFreeBits int, run solver.Run) (*OptimalResult, error) {
 	free := make([][2]int, 0) // (site, object) pairs that may toggle
 	for i := 0; i < p.Sites(); i++ {
 		for k := 0; k < p.Objects(); k++ {
@@ -89,16 +113,32 @@ func Optimal(p *core.Problem, maxFreeBits int) (*core.Scheme, error) {
 	if len(free) > maxFreeBits {
 		return nil, fmt.Errorf("baseline: %d free bits exceeds limit %d", len(free), maxFreeBits)
 	}
+	c := solver.Start("optimal", run)
 	best := core.NewScheme(p)
 	bestCost := best.Cost()
+	c.Charge(1)
 	cur := core.NewScheme(p)
+	stop := solver.StopCompleted
+	halted := false
+	leaves := 0
 	var recurse func(idx int)
 	recurse = func(idx int) {
+		if halted {
+			return
+		}
 		if idx == len(free) {
+			if reason, halt := c.Check(); halt {
+				stop = reason
+				halted = true
+				return
+			}
 			if cost := cur.Cost(); cost < bestCost {
 				bestCost = cost
 				best = cur.Clone()
 			}
+			c.Charge(1)
+			leaves++
+			c.Observe(leaves, 0, 0, bestCost)
 			return
 		}
 		recurse(idx + 1) // bit off
@@ -111,5 +151,5 @@ func Optimal(p *core.Problem, maxFreeBits int) (*core.Scheme, error) {
 		}
 	}
 	recurse(0)
-	return best, nil
+	return &OptimalResult{Scheme: best, Stats: c.Finish(leaves, stop)}, nil
 }

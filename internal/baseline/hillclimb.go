@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"drp/internal/core"
+	"drp/internal/solver"
 )
 
 // HillClimbResult reports a local-search run.
@@ -9,8 +10,14 @@ type HillClimbResult struct {
 	Scheme *core.Scheme
 	// Moves is the number of accepted improving moves.
 	Moves int
-	// Evaluations counts delta evaluations performed.
+	// Evaluations counts delta evaluations performed (mirrors
+	// Stats.Evaluations).
 	Evaluations int
+	// Stats is the solver-runtime accounting: Iterations counts accepted
+	// moves and Stopped tells whether the search reached a local optimum
+	// (completed) or was interrupted at a round boundary. The scheme is
+	// valid either way — moves are applied incrementally.
+	Stats solver.Stats
 }
 
 // HillClimb runs steepest-descent local search over single-replica moves
@@ -25,6 +32,14 @@ type HillClimbResult struct {
 // (it can also *remove* misplaced replicas) but explores far less than
 // GRA.
 func HillClimb(p *core.Problem, start *core.Scheme, maxMoves int) *HillClimbResult {
+	return HillClimbWith(p, start, maxMoves, solver.Run{})
+}
+
+// HillClimbWith is HillClimb under anytime controls: interruption is
+// checked once per round (one round scans every move and accepts the best),
+// with the budget counted in delta evaluations.
+func HillClimbWith(p *core.Problem, start *core.Scheme, maxMoves int, run solver.Run) *HillClimbResult {
+	c := solver.Start("hill", run)
 	var scheme *core.Scheme
 	if start == nil {
 		scheme = core.NewScheme(p)
@@ -34,7 +49,13 @@ func HillClimb(p *core.Problem, start *core.Scheme, maxMoves int) *HillClimbResu
 	d := core.NewDeltaEvaluator(scheme)
 	res := &HillClimbResult{}
 
+	stop := solver.StopCompleted
 	for maxMoves <= 0 || res.Moves < maxMoves {
+		if reason, halt := c.Check(); halt {
+			stop = reason
+			break
+		}
+		before := res.Evaluations
 		bestDelta := int64(0)
 		bestI, bestK, bestAdd := -1, -1, false
 		for i := 0; i < p.Sites(); i++ {
@@ -52,6 +73,7 @@ func HillClimb(p *core.Problem, start *core.Scheme, maxMoves int) *HillClimbResu
 				}
 			}
 		}
+		c.Charge(res.Evaluations - before)
 		if bestI < 0 {
 			break // local optimum
 		}
@@ -65,7 +87,9 @@ func HillClimb(p *core.Problem, start *core.Scheme, maxMoves int) *HillClimbResu
 			panic("baseline: accepted move rejected: " + err.Error())
 		}
 		res.Moves++
+		c.Observe(res.Moves, 0, 0, 0)
 	}
 	res.Scheme = d.Scheme()
+	res.Stats = c.Finish(res.Moves, stop)
 	return res
 }

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"testing"
+
+	"drp/internal/solver"
+	"drp/internal/sra"
+	"drp/internal/workload"
+)
+
+// TestEpochDeadlineMissKeepsServingCurrentScheme exercises the monitor's
+// graceful degradation: an epoch re-optimisation that blows its deadline is
+// discarded, the epoch is served under the unchanged current scheme (so NTC
+// accounting stays consistent with eq. 4), no migrations are charged, and
+// the miss is recorded in the epoch's stats.
+func TestEpochDeadlineMissKeepsServingCurrentScheme(t *testing.T) {
+	p := gen(t, 12, 20, 0.05, 0.15, 21)
+	initial := sra.Run(p, sra.Options{}).Scheme
+	cfg := testConfig(PolicyAGRAMini)
+	cfg.Epochs = 4
+	cfg.Drift = &workload.ChangeSpec{Ch: 6, ObjectShare: 0.3, ReadShare: 0.5}
+	cfg.EpochTimeout = 1 // one nanosecond: every adaptation misses
+
+	res, err := Run(p, initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for i, e := range res.Epochs {
+		// Epoch 0 never adapts under the AGRA policies; later epochs see
+		// drift, detect changes and then miss the deadline.
+		if i > 0 && e.Changed > 0 {
+			if !e.AdaptDegraded {
+				t.Fatalf("epoch %d adapted despite a 1ns deadline", i)
+			}
+			if e.AdaptStopped != solver.StopDeadline {
+				t.Fatalf("epoch %d stopped %v, want deadline", i, e.AdaptStopped)
+			}
+			misses++
+		}
+		if e.AdaptDegraded && e.Migrations != 0 {
+			t.Fatalf("epoch %d migrated %d replicas on a degraded adaptation", i, e.Migrations)
+		}
+		// The simulator serves exactly the traffic eq. 4 models, so the
+		// measured cost must match the current scheme's model cost whether
+		// or not the adaptation was discarded.
+		if e.ServeNTC != e.ModelNTC {
+			t.Fatalf("epoch %d: measured NTC %d != eq.4 prediction %d", i, e.ServeNTC, e.ModelNTC)
+		}
+	}
+	if misses == 0 {
+		t.Fatal("no epoch detected changes; the degradation path was not exercised")
+	}
+	// Every adaptation was discarded, so the placement never changed. The
+	// final scheme is rebound onto the drifted problem, so compare bits.
+	if !res.FinalScheme.Bits().Equal(initial.Bits()) {
+		t.Fatal("degraded monitor changed the serving scheme")
+	}
+}
+
+// The same scenario without the deadline must actually adapt: migrations
+// happen and the scheme moves. This pins down that the degradation above
+// comes from the cap, not from the monitor being inert.
+func TestEpochDeadlineCapIsTheOnlyDifference(t *testing.T) {
+	p := gen(t, 12, 20, 0.05, 0.15, 22)
+	initial := sra.Run(p, sra.Options{}).Scheme
+	cfg := testConfig(PolicyAGRAMini)
+	cfg.Epochs = 3
+	cfg.Drift = &workload.ChangeSpec{Ch: 6, ObjectShare: 0.3, ReadShare: 0.5}
+
+	free, err := Run(p, initial.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.EpochTimeout = 1
+	capped, err := Run(p, initial.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var freeMigrations int
+	for _, e := range free.Epochs {
+		if e.AdaptDegraded {
+			t.Fatal("uncapped run degraded")
+		}
+		freeMigrations += e.Migrations
+	}
+	if freeMigrations == 0 {
+		t.Skip("drift never triggered an adaptation; nothing to compare")
+	}
+	if !capped.FinalScheme.Bits().Equal(initial.Bits()) {
+		t.Fatal("capped run changed the scheme despite missing every deadline")
+	}
+	if free.FinalScheme.Bits().Equal(initial.Bits()) {
+		t.Fatal("uncapped run never changed the scheme")
+	}
+}
+
+// With an evaluation budget instead of a deadline the same degradation
+// applies, reported as StopBudget.
+func TestAdaptBudgetMissRecorded(t *testing.T) {
+	p := gen(t, 10, 15, 0.05, 0.15, 23)
+	cfg := testConfig(PolicySRA)
+	cfg.Epochs = 2
+	cfg.AdaptBudget = 1
+	res, err := Run(p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range res.Epochs {
+		if !e.AdaptDegraded || e.AdaptStopped != solver.StopBudget {
+			t.Fatalf("epoch %d: degraded=%v stopped=%v, want budget miss", i, e.AdaptDegraded, e.AdaptStopped)
+		}
+		if e.AdaptEvaluations == 0 {
+			t.Fatalf("epoch %d recorded no evaluations", i)
+		}
+	}
+	// SRA never completed, so the cluster keeps serving primaries-only.
+	if res.Epochs[0].ServeNTC != p.DPrime() {
+		t.Fatalf("degraded SRA epoch served %d, want D' %d", res.Epochs[0].ServeNTC, p.DPrime())
+	}
+}
+
+// Unbounded configs must behave exactly as before the runtime existed.
+func TestAdaptUnboundedCompletes(t *testing.T) {
+	p := gen(t, 10, 15, 0.05, 0.15, 24)
+	cfg := testConfig(PolicySRA)
+	cfg.Epochs = 1
+	res, err := Run(p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Epochs[0]
+	if e.AdaptDegraded || e.AdaptStopped != solver.StopCompleted {
+		t.Fatalf("unbounded adaptation degraded: %+v", e)
+	}
+	if e.AdaptEvaluations == 0 {
+		t.Fatal("adaptation accounting missing")
+	}
+}
+
+func TestNegativeCapsRejected(t *testing.T) {
+	p := gen(t, 5, 5, 0.05, 0.15, 25)
+	bad := testConfig(PolicyNone)
+	bad.EpochTimeout = -1
+	if _, err := Run(p, nil, bad); err == nil {
+		t.Fatal("negative epoch timeout accepted")
+	}
+	bad = testConfig(PolicyNone)
+	bad.AdaptBudget = -1
+	if _, err := Run(p, nil, bad); err == nil {
+		t.Fatal("negative adapt budget accepted")
+	}
+}

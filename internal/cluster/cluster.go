@@ -21,6 +21,7 @@ import (
 	"drp/internal/agra"
 	"drp/internal/core"
 	"drp/internal/gra"
+	"drp/internal/solver"
 	"drp/internal/workload"
 )
 
@@ -83,6 +84,14 @@ type Config struct {
 	// GRA and AGRA budgets for the adapting policies.
 	GRAParams  gra.Params
 	AGRAParams agra.Params
+	// EpochTimeout caps each epoch's re-optimisation wall-clock: a monitor
+	// that blows it keeps serving the current scheme (no migration, no
+	// re-tuning of the change detector) and the miss is recorded in
+	// EpochStats. 0 means unbounded.
+	EpochTimeout time.Duration
+	// AdaptBudget caps each epoch's re-optimisation at this many cost-model
+	// evaluations, with the same degradation behaviour. 0 means unbounded.
+	AdaptBudget int
 	// Seed makes runs reproducible.
 	Seed uint64
 }
@@ -95,6 +104,10 @@ func (cfg Config) validate(p *core.Problem) error {
 		return fmt.Errorf("cluster: unknown policy %d", int(cfg.Policy))
 	case cfg.Threshold < 0:
 		return fmt.Errorf("cluster: negative threshold %v", cfg.Threshold)
+	case cfg.EpochTimeout < 0:
+		return fmt.Errorf("cluster: negative epoch timeout %v", cfg.EpochTimeout)
+	case cfg.AdaptBudget < 0:
+		return fmt.Errorf("cluster: negative adapt budget %d", cfg.AdaptBudget)
 	}
 	for _, f := range cfg.Failures {
 		if f.Site < 0 || f.Site >= p.Sites() {
@@ -143,6 +156,14 @@ type EpochStats struct {
 	// AdaptTime is how long the monitor's re-optimisation took.
 	Changed   int
 	AdaptTime time.Duration
+	// AdaptEvaluations counts the re-optimisation's cost-model evaluations
+	// and AdaptStopped why it ended. AdaptDegraded is set when the epoch
+	// deadline or budget fired: the freshly computed scheme is discarded
+	// and the epoch is served — and its NTC accounted per eq. 4 — under
+	// the unchanged current scheme.
+	AdaptEvaluations int
+	AdaptStopped     solver.StopReason
+	AdaptDegraded    bool
 }
 
 // Result is a full simulation run.

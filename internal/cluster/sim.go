@@ -9,6 +9,7 @@ import (
 	"drp/internal/core"
 	"drp/internal/gra"
 	"drp/internal/simevent"
+	"drp/internal/solver"
 	"drp/internal/sra"
 	"drp/internal/workload"
 	"drp/internal/xrand"
@@ -156,26 +157,40 @@ func (s *sim) runEpoch(epoch int) (*EpochStats, error) {
 	return stats, nil
 }
 
-// adapt applies the configured monitor policy, migrating the scheme.
+// adapt applies the configured monitor policy, migrating the scheme. When
+// the epoch's deadline or evaluation budget fires mid-optimisation, the
+// monitor degrades gracefully: the partial result is discarded, the current
+// scheme keeps serving (so no migration cost is charged and eq. 4
+// accounting is unaffected), the change detector's tuned totals are left
+// alone so the shift is re-flagged next epoch, and the miss is recorded in
+// the epoch's stats.
 func (s *sim) adapt(epoch int, stats *EpochStats) error {
 	start := time.Now()
+	run := solver.Run{Timeout: s.cfg.EpochTimeout, Budget: s.cfg.AdaptBudget}
 	old := s.scheme
+	var next *core.Scheme
+	var pop []*bitset.Set
+	var st solver.Stats
+	hasPop := false
 	switch s.cfg.Policy {
 	case PolicyNone:
 		return nil
 
 	case PolicySRA:
-		s.scheme = sra.Run(s.problem, sra.Options{}).Scheme
+		res := sra.Run(s.problem, sra.Options{Run: run})
+		next = res.Scheme
+		st = res.Stats
 
 	case PolicyGRA:
 		params := s.cfg.GRAParams
 		params.Seed = s.cfg.Seed + uint64(epoch)*131
-		res, err := gra.Run(s.problem, params)
+		res, err := gra.RunWith(s.problem, params, run)
 		if err != nil {
 			return err
 		}
-		s.scheme = res.Scheme
-		s.setPopulation(res.Population)
+		next = res.Scheme
+		pop, hasPop = res.Population, true
+		st = res.Stats
 
 	case PolicyAGRA, PolicyAGRAMini:
 		changed := s.detectChanges()
@@ -192,20 +207,32 @@ func (s *sim) adapt(epoch int, stats *EpochStats) error {
 		params.Seed = s.cfg.Seed + uint64(epoch)*257
 		mini := s.cfg.GRAParams
 		mini.Seed = params.Seed + 1
-		res, err := agra.Adapt(agra.Input{
+		res, err := agra.AdaptWith(agra.Input{
 			Problem:       s.problem,
 			Current:       s.scheme,
 			GRAPopulation: s.rawPopulation(),
 			Changed:       changed,
-		}, params, mini, miniGens)
+		}, params, mini, miniGens, run)
 		if err != nil {
 			return err
 		}
-		s.scheme = res.Scheme
-		s.setPopulation(res.Population)
+		next = res.Scheme
+		pop, hasPop = res.Population, true
+		st = res.Stats
 	}
 	stats.AdaptTime = time.Since(start)
+	stats.AdaptEvaluations = st.Evaluations
+	stats.AdaptStopped = st.Stopped
 
+	if st.Stopped != solver.StopCompleted {
+		stats.AdaptDegraded = true
+		return nil
+	}
+
+	s.scheme = next
+	if hasPop {
+		s.setPopulation(pop)
+	}
 	s.migrate(old, s.scheme, stats)
 	s.rebuildNearest()
 	s.snapshotTunedTotals()

@@ -1,6 +1,10 @@
 package core
 
-import "drp/internal/bitset"
+import (
+	"sync/atomic"
+
+	"drp/internal/bitset"
+)
 
 // This file implements the object transfer cost model of Section 2.2.
 //
@@ -28,6 +32,9 @@ type Evaluator struct {
 	p *Problem
 	// replicators[k] is scratch for the replica list of object k.
 	replicators [][]int32
+	// meter, when set, is incremented once per Cost/ObjectCost call — the
+	// solver runtime's central evaluation counter for budget accounting.
+	meter *atomic.Int64
 }
 
 // NewEvaluator returns an evaluator for p.
@@ -37,6 +44,11 @@ func NewEvaluator(p *Problem) *Evaluator {
 		replicators: make([][]int32, p.n),
 	}
 }
+
+// SetMeter attaches an evaluation counter: every subsequent Cost and
+// ObjectCost call adds one to it. The counter may be shared across
+// evaluators (and goroutines); nil detaches.
+func (e *Evaluator) SetMeter(meter *atomic.Int64) { e.meter = meter }
 
 // gather buckets the set bits of x into per-object replicator lists.
 func (e *Evaluator) gather(x *bitset.Set) {
@@ -54,6 +66,9 @@ func (e *Evaluator) gather(x *bitset.Set) {
 // if only the primary existed (the GA repairs such chromosomes separately);
 // in well-formed schemes the primary bit is always present.
 func (e *Evaluator) Cost(x *bitset.Set) int64 {
+	if e.meter != nil {
+		e.meter.Add(1)
+	}
 	e.gather(x)
 	var total int64
 	for k := 0; k < e.p.n; k++ {
@@ -66,6 +81,9 @@ func (e *Evaluator) Cost(x *bitset.Set) int64 {
 // replicator set given as site indices. Used by AGRA, whose chromosomes
 // describe a single object's replication scheme.
 func (e *Evaluator) ObjectCost(k int, replicators []int32) int64 {
+	if e.meter != nil {
+		e.meter.Add(1)
+	}
 	return e.objectCost(k, replicators)
 }
 

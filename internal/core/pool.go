@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"drp/internal/bitset"
 	"drp/internal/parallel"
 )
@@ -29,6 +31,14 @@ func NewEvalPool(p *Problem, parallelism int) *EvalPool {
 		evs[i] = NewEvaluator(p)
 	}
 	return &EvalPool{workers: w, evs: evs}
+}
+
+// SetMeter attaches one shared evaluation counter to every worker's
+// evaluator (see Evaluator.SetMeter); nil detaches.
+func (pl *EvalPool) SetMeter(meter *atomic.Int64) {
+	for _, ev := range pl.evs {
+		ev.SetMeter(meter)
+	}
 }
 
 // Workers returns the pool's worker count.

@@ -64,7 +64,7 @@ func (cfg Config) adaptInstance(cell adaptCell, net int) (map[string]float64, ma
 	// The network's current scheme comes from a static GRA run on the
 	// old (night-time) patterns; its population is retained, as the
 	// paper's monitor site would.
-	staticRes, err := gra.Run(old, cfg.graParams(seed+1))
+	staticRes, err := gra.RunWith(old, cfg.graParams(seed+1), cfg.cellRun())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -92,12 +92,12 @@ func (cfg Config) adaptInstance(cell adaptCell, net int) (map[string]float64, ma
 	// Policies: Current+AGRA, AGRA+5GRA, AGRA+10GRA.
 	for i, miniGens := range []int{0, 5, 10} {
 		mini := cfg.graParams(seed + 3 + uint64(i))
-		res, err := agra.Adapt(agra.Input{
+		res, err := agra.AdaptWith(agra.Input{
 			Problem:       newP,
 			Current:       current,
 			GRAPopulation: staticRes.Population,
 			Changed:       changed,
-		}, cfg.agraParams(seed+7+uint64(i)), mini, miniGens)
+		}, cfg.agraParams(seed+7+uint64(i)), mini, miniGens, cfg.cellRun())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -110,7 +110,7 @@ func (cfg Config) adaptInstance(cell adaptCell, net int) (map[string]float64, ma
 	for i, gens := range []int{cfg.MedGens, cfg.LongGens} {
 		params := cfg.graParams(seed + 11 + uint64(i))
 		params.Generations = gens
-		res, err := gra.RunWithPopulation(newP, params, seedPop)
+		res, err := gra.ContinueWith(newP, params, seedPop, cfg.cellRun())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -120,7 +120,7 @@ func (cfg Config) adaptInstance(cell adaptCell, net int) (map[string]float64, ma
 	// Policy: LongGRA from scratch (fresh SRA-seeded population).
 	params := cfg.graParams(seed + 13)
 	params.Generations = cfg.LongGens
-	res, err := gra.Run(newP, params)
+	res, err := gra.RunWith(newP, params, cfg.cellRun())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -8,9 +8,11 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"drp/internal/agra"
 	"drp/internal/gra"
+	"drp/internal/solver"
 )
 
 // Config sizes an experiment campaign. The paper's exact dimensions are in
@@ -68,6 +70,22 @@ type Config struct {
 	// Shared workload constants.
 	BaseUpdateRatio   float64 // paper: 5%
 	BaseCapacityRatio float64 // paper: 15%
+
+	// CellTimeout and CellBudget time-box every genetic-algorithm run a
+	// campaign performs (GRA, AGRA and hill climb; SRA and the trivial
+	// baselines stay unbounded — they are never the bottleneck): each run
+	// gets at most this much wall-clock and this many cost-model
+	// evaluations, returning its best scheme so far when the cap fires.
+	// They let `-preset paper` finish in bounded time at the price of
+	// truncated GA runs (which the figures then reflect); budgeted results
+	// stay reproducible, timed-out ones inherently do not. Zero values
+	// leave runs unbounded.
+	CellTimeout time.Duration
+	CellBudget  int
+	// Observer, when set, receives every solver's per-generation progress
+	// events. Cells run concurrently, so it must be safe for concurrent
+	// use — wrap with solver.Synchronized.
+	Observer solver.Observer
 }
 
 // Paper returns the paper's full experiment dimensions. A complete campaign
@@ -159,8 +177,17 @@ func (cfg Config) validate() error {
 		return fmt.Errorf("experiments: bad AGRA budget %d/%d", cfg.AGRAPop, cfg.AGRAGens)
 	case cfg.Parallelism < 0:
 		return fmt.Errorf("experiments: negative parallelism %d", cfg.Parallelism)
+	case cfg.CellTimeout < 0:
+		return fmt.Errorf("experiments: negative cell timeout %v", cfg.CellTimeout)
+	case cfg.CellBudget < 0:
+		return fmt.Errorf("experiments: negative cell budget %d", cfg.CellBudget)
 	}
 	return nil
+}
+
+// cellRun bundles the campaign's per-run anytime controls.
+func (cfg Config) cellRun() solver.Run {
+	return solver.Run{Timeout: cfg.CellTimeout, Budget: cfg.CellBudget, Observer: cfg.Observer}
 }
 
 // graParams and agraParams pin the inner algorithms to serial evaluation:

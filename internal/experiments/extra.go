@@ -62,15 +62,14 @@ func RunSummary(cfg Config, log func(format string, args ...interface{})) (*Summ
 	add("SRA (paper)", sraRes.Scheme.Savings(), sraRes.Scheme.TotalReplicas(), sraRes.Elapsed)
 
 	log("summary: hill climb")
-	start = time.Now()
-	hc := baseline.HillClimb(p, nil, 0)
-	add("hill climb", hc.Scheme.Savings(), hc.Scheme.TotalReplicas(), time.Since(start))
+	hc := baseline.HillClimbWith(p, nil, 0, cfg.cellRun())
+	add("hill climb", hc.Scheme.Savings(), hc.Scheme.TotalReplicas(), hc.Stats.Elapsed)
 
 	log("summary: GRA (%d gens)", cfg.GRAGens)
 	// A single run, so the campaign's worker budget goes to the GA itself.
 	params := cfg.graParams(cfg.Seed + 1)
 	params.Parallelism = cfg.Parallelism
-	graRes, err := gra.Run(p, params)
+	graRes, err := gra.RunWith(p, params, cfg.cellRun())
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +121,7 @@ func RunConvergence(cfg Config, log func(format string, args ...interface{})) (*
 		}
 		params := cfg.graParams(cfg.Seed + 7)
 		params.Parallelism = cfg.Parallelism
-		res, err := gra.Run(p, params)
+		res, err := gra.RunWith(p, params, cfg.cellRun())
 		if err != nil {
 			return nil, err
 		}

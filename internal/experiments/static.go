@@ -58,7 +58,7 @@ func (cfg Config) staticInstance(cell staticCell, net int) ([6]float64, error) {
 		return [6]float64{}, fmt.Errorf("experiments: generate M=%d N=%d: %w", cell.m, cell.n, err)
 	}
 	sraRes := sra.Run(p, sra.Options{})
-	graRes, err := gra.Run(p, cfg.graParams(seed+1))
+	graRes, err := gra.RunWith(p, cfg.graParams(seed+1), cfg.cellRun())
 	if err != nil {
 		return [6]float64{}, fmt.Errorf("experiments: gra M=%d N=%d: %w", cell.m, cell.n, err)
 	}

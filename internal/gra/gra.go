@@ -19,6 +19,7 @@ import (
 	"drp/internal/bitset"
 	"drp/internal/core"
 	"drp/internal/ga"
+	"drp/internal/solver"
 	"drp/internal/sra"
 	"drp/internal/xrand"
 )
@@ -164,9 +165,17 @@ type Result struct {
 	Fitness float64
 	// History holds per-generation statistics.
 	History []GenStats
-	// Evaluations counts cost-model evaluations, the dominant work unit.
+	// Stats is the solver-runtime accounting: Iterations is the completed
+	// generation count, Elapsed covers the whole entry point (population
+	// seeding included), and Stopped tells whether the run completed or was
+	// interrupted by a deadline, budget or cancellation. On interruption
+	// after generation g the result is bit-identical to a Generations=g run.
+	Stats solver.Stats
+	// Evaluations mirrors Stats.Evaluations: cost-model evaluations, the
+	// dominant work unit, counted centrally by the evaluation pool.
 	Evaluations int
-	// Elapsed is the wall-clock duration including seeding.
+	// Elapsed mirrors Stats.Elapsed: the wall-clock duration including
+	// seeding.
 	Elapsed time.Duration
 	// Population is the final population's chromosomes, exposed because
 	// AGRA transcribes per-object schemes into them.
@@ -176,12 +185,23 @@ type Result struct {
 // Run executes GRA with the paper's SRA-based population seeding (or the
 // ablation seeding selected in params).
 func Run(p *core.Problem, params Params) (*Result, error) {
+	return RunWith(p, params, solver.Run{})
+}
+
+// RunWith executes GRA under the given anytime controls. Interruption is
+// only checked at generation boundaries: a run cancelled (or out of time or
+// budget) after generation g returns exactly what a Generations=g run
+// returns, at every worker count, with Stats.Stopped recording why. Seeding
+// itself is never interrupted — its time and evaluations count against the
+// controls, and a run that expires during seeding stops at the gen-1
+// boundary with the seeded population's best scheme.
+func RunWith(p *core.Problem, params Params, run solver.Run) (*Result, error) {
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
 	params = params.normalized()
 	rng := xrand.New(params.Seed)
-	start := time.Now()
+	c := solver.Start("gra", run)
 	var init []*bitset.Set
 	switch params.Seeding {
 	case SeedingSRA:
@@ -189,12 +209,7 @@ func Run(p *core.Problem, params Params) (*Result, error) {
 	case SeedingRandom:
 		init = SeedRandom(p, params.PopSize, rng)
 	}
-	res, err := evolve(p, params, init, rng)
-	if err != nil {
-		return nil, err
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return evolve(p, params, init, rng, c)
 }
 
 // RunWithPopulation executes GRA from a caller-supplied initial population
@@ -202,6 +217,13 @@ func Run(p *core.Problem, params Params) (*Result, error) {
 // site-major bit matrices; fewer than PopSize are padded with perturbed
 // clones, extras are truncated.
 func RunWithPopulation(p *core.Problem, params Params, init []*bitset.Set) (*Result, error) {
+	return ContinueWith(p, params, init, solver.Run{})
+}
+
+// ContinueWith is RunWithPopulation under anytime controls (see RunWith for
+// the interruption contract). AGRA uses it to hand its remaining deadline
+// and budget to the mini-GRA polish.
+func ContinueWith(p *core.Problem, params Params, init []*bitset.Set, run solver.Run) (*Result, error) {
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
@@ -210,7 +232,7 @@ func RunWithPopulation(p *core.Problem, params Params, init []*bitset.Set) (*Res
 	}
 	params = params.normalized()
 	rng := xrand.New(params.Seed)
-	start := time.Now()
+	c := solver.Start("gra", run)
 
 	pop := make([]*bitset.Set, 0, params.PopSize)
 	for _, bits := range init {
@@ -232,12 +254,7 @@ func RunWithPopulation(p *core.Problem, params Params, init []*bitset.Set) (*Res
 		pop = append(pop, s.Bits())
 	}
 
-	res, err := evolve(p, params, pop, rng)
-	if err != nil {
-		return nil, err
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return evolve(p, params, pop, rng, c)
 }
 
 // SeedSRA builds the paper's initial population: PopSize SRA runs with
@@ -296,39 +313,48 @@ func Perturb(s *core.Scheme, fraction float64, rng *xrand.Source) {
 
 // evolve runs the generational loop over an initial population of bitsets.
 // Variation is serial (all randomness on this goroutine); only the cost
-// evaluations fan out across the params.Parallelism worker pool.
-func evolve(p *core.Problem, params Params, init []*bitset.Set, rng *xrand.Source) (*Result, error) {
+// evaluations fan out across the params.Parallelism worker pool. The
+// controller is consulted exactly once per generation, at the top of the
+// loop, before any randomness is drawn — so breaking there leaves the run
+// in precisely the state a shorter Generations setting would have produced.
+func evolve(p *core.Problem, params Params, init []*bitset.Set, rng *xrand.Source, c *solver.Controller) (*Result, error) {
 	ev := newEvaluator(p, params.Parallelism)
+	ev.pool.SetMeter(c.Meter())
 	res := &Result{}
 
 	pop := ev.evaluateAll(init)
-	res.Evaluations += len(pop)
 
 	elite := pop[ga.Best(pop)].Clone()
 	record := func(gen int) {
+		mean := ga.MeanFitness(pop)
 		res.History = append(res.History, GenStats{
 			Gen:         gen,
 			BestFitness: elite.Fitness,
-			MeanFitness: ga.MeanFitness(pop),
+			MeanFitness: mean,
 			BestCost:    elite.Cost,
 		})
+		c.Observe(gen, elite.Fitness, mean, elite.Cost)
 	}
 	record(0)
 
+	stop := solver.StopCompleted
 	stale := 0
+	lastGen := 0
 	for gen := 1; gen <= params.Generations; gen++ {
+		if reason, halt := c.Check(); halt {
+			stop = reason
+			break
+		}
 		prevElite := elite.Fitness
 		switch params.Selection {
 		case SelectionSGA:
 			pop = ev.sgaGeneration(pop, params, rng)
-			res.Evaluations += len(pop)
 			if b := ga.Best(pop); pop[b].Fitness > elite.Fitness {
 				elite = pop[b].Clone()
 			}
 		default: // SelectionMuPlusLambda
 			crossPop := ev.crossoverSubpop(pop, params, rng)
 			mutPop := ev.mutationSubpop(pop, params, rng)
-			res.Evaluations += len(crossPop) + len(mutPop)
 
 			// (µ+λ): parents and both offspring subpopulations compete for
 			// the Np slots of the next generation.
@@ -348,6 +374,7 @@ func evolve(p *core.Problem, params Params, init []*bitset.Set, rng *xrand.Sourc
 			pop[ga.Worst(pop)] = elite.Clone()
 		}
 		record(gen)
+		lastGen = gen
 
 		if params.Patience > 0 {
 			if elite.Fitness > prevElite {
@@ -369,5 +396,8 @@ func evolve(p *core.Problem, params Params, init []*bitset.Set, rng *xrand.Sourc
 	for i := range pop {
 		res.Population[i] = pop[i].Bits.Clone()
 	}
+	res.Stats = c.Finish(lastGen, stop)
+	res.Evaluations = res.Stats.Evaluations
+	res.Elapsed = res.Stats.Elapsed
 	return res, nil
 }

@@ -53,11 +53,6 @@ func (ev *evaluator) evaluateWith(cost *core.Evaluator, bits *bitset.Set) ga.Ind
 	return ga.Individual{Bits: bits, Cost: d, Fitness: f}
 }
 
-// evaluate scores one chromosome inline on the caller's goroutine.
-func (ev *evaluator) evaluate(bits *bitset.Set) ga.Individual {
-	return ev.evaluateWith(ev.pool.Evaluator(), bits)
-}
-
 // evaluateAll scores a batch of chromosomes across the worker pool and
 // returns the individuals in input order.
 func (ev *evaluator) evaluateAll(cand []*bitset.Set) []ga.Individual {

@@ -1,0 +1,75 @@
+package sra
+
+import (
+	"context"
+	"testing"
+
+	"drp/internal/solver"
+)
+
+func TestPreCancelledRunReturnsValidPartialScheme(t *testing.T) {
+	p := gen(t, 10, 15, 0.02, 0.2, 31)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Run(p, Options{Run: solver.Run{Context: ctx}})
+	if res.Stats.Stopped != solver.StopCancelled {
+		t.Fatalf("stopped %v, want cancelled", res.Stats.Stopped)
+	}
+	if res.Placements != 0 || res.Stats.Iterations != 0 {
+		t.Fatalf("pre-cancelled run placed %d replicas over %d visits", res.Placements, res.Stats.Iterations)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatalf("interrupted scheme invalid: %v", err)
+	}
+	if res.Scheme.TotalReplicas() != 0 {
+		t.Fatal("pre-cancelled run should return primaries-only")
+	}
+}
+
+func TestBudgetTruncatesGreedy(t *testing.T) {
+	p := gen(t, 10, 15, 0.02, 0.2, 32)
+	full := Run(p, Options{})
+	res := Run(p, Options{Run: solver.Run{Budget: 1}})
+	if res.Stats.Stopped != solver.StopBudget {
+		t.Fatalf("stopped %v, want budget", res.Stats.Stopped)
+	}
+	// The budget is soft: the first visit completes, then the run stops.
+	if res.Stats.Iterations != 1 {
+		t.Fatalf("%d visits under a 1-scan budget, want 1", res.Stats.Iterations)
+	}
+	if res.Placements >= full.Placements {
+		t.Fatalf("truncated run placed %d replicas, full run %d", res.Placements, full.Placements)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatalf("interrupted scheme invalid: %v", err)
+	}
+}
+
+func TestUnfiredControlsMatchOpenLoop(t *testing.T) {
+	p := gen(t, 10, 15, 0.05, 0.15, 33)
+	plain := Run(p, Options{})
+	controlled := Run(p, Options{Run: solver.Run{Budget: 1 << 30}})
+	if controlled.Stats.Stopped != solver.StopCompleted {
+		t.Fatalf("stopped %v", controlled.Stats.Stopped)
+	}
+	if !plain.Scheme.Equal(controlled.Scheme) {
+		t.Fatal("schemes differ under unfired controls")
+	}
+	if plain.Scans != controlled.Scans || plain.Placements != controlled.Placements {
+		t.Fatal("accounting differs under unfired controls")
+	}
+}
+
+func TestStatsMirrorsLegacyFields(t *testing.T) {
+	p := gen(t, 8, 10, 0.05, 0.15, 34)
+	res := Run(p, Options{})
+	if res.Stats.Evaluations != res.Scans {
+		t.Fatalf("Stats.Evaluations %d != Scans %d", res.Stats.Evaluations, res.Scans)
+	}
+	if res.Stats.Elapsed != res.Elapsed {
+		t.Fatal("Stats.Elapsed != Elapsed")
+	}
+	if res.Stats.Iterations <= 0 {
+		t.Fatal("no site visits recorded")
+	}
+}

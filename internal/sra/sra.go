@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"drp/internal/core"
+	"drp/internal/solver"
 	"drp/internal/xrand"
 )
 
@@ -26,6 +27,11 @@ type Options struct {
 	RandomOrder bool
 	// RNG drives random site picks. Ignored unless RandomOrder is set.
 	RNG *xrand.Source
+	// Run carries the anytime controls (context, deadline, budget,
+	// observer). SRA's budget unit is benefit scans — the greedy never
+	// builds full cost evaluations — and interruption is checked at
+	// site-visit boundaries; the zero value runs open-loop.
+	Run solver.Run
 }
 
 // Result carries the scheme SRA produced plus run accounting.
@@ -33,15 +39,25 @@ type Result struct {
 	Scheme *core.Scheme
 	// Placements is the number of replicas created beyond the primaries.
 	Placements int
-	// Scans counts benefit evaluations, the algorithm's unit of work.
+	// Scans counts benefit evaluations, the algorithm's unit of work
+	// (mirrors Stats.Evaluations).
 	Scans int
-	// Elapsed is the wall-clock duration of the run.
+	// Elapsed is the wall-clock duration of the run (mirrors
+	// Stats.Elapsed).
 	Elapsed time.Duration
+	// Stats is the solver-runtime accounting: Evaluations counts benefit
+	// scans, Iterations counts site visits, and Stopped tells whether the
+	// greedy ran to exhaustion or was interrupted. An interrupted run still
+	// returns a valid scheme — every placement is applied incrementally.
+	Stats solver.Stats
 }
 
-// Run executes SRA on p and returns the resulting scheme.
+// Run executes SRA on p and returns the resulting scheme. Interruption via
+// opts.Run is checked once per site visit, before the visit draws any
+// randomness, so an uninterrupted run is bit-identical to one without
+// controls.
 func Run(p *core.Problem, opts Options) *Result {
-	start := time.Now()
+	c := solver.Start("sra", opts.Run)
 	scheme := core.NewScheme(p)
 	nearest := core.NewNearestTable(scheme)
 
@@ -68,8 +84,14 @@ func Run(p *core.Problem, opts Options) *Result {
 	}
 
 	res := &Result{}
+	stop := solver.StopCompleted
+	visits := 0
 	cursor := 0
 	for len(active) > 0 {
+		if reason, halt := c.Check(); halt {
+			stop = reason
+			break
+		}
 		var idx int
 		if opts.RandomOrder {
 			idx = opts.RNG.Intn(len(active))
@@ -78,7 +100,10 @@ func Run(p *core.Problem, opts Options) *Result {
 		}
 		site := active[idx]
 
+		before := res.Scans
 		bestObj, _ := scanSite(p, scheme, nearest, candidates, site, res)
+		c.Charge(res.Scans - before)
+		visits++
 
 		if bestObj >= 0 {
 			// Replicate the winner and prune it from this site's list.
@@ -100,10 +125,12 @@ func Run(p *core.Problem, opts Options) *Result {
 		} else if !opts.RandomOrder {
 			cursor = idx + 1
 		}
+		c.Observe(visits, 0, 0, 0)
 	}
 
 	res.Scheme = scheme
-	res.Elapsed = time.Since(start)
+	res.Stats = c.Finish(visits, stop)
+	res.Elapsed = res.Stats.Elapsed
 	return res
 }
 
