@@ -1,0 +1,42 @@
+package main
+
+// Golden determinism test: the quick-preset Figure 1a campaign is pinned
+// byte for byte. Any change to the generator, the solvers, the parallel
+// sweep reduction or the CSV renderer that moves a single digit fails here
+// — and the -par 1 vs -par 8 comparison pins that the worker fan-out is
+// pure plumbing, not a source of nondeterminism.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func benchCSV(t *testing.T, par string) []byte {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "quick", "-fig", "1a", "-csv", "-q", "-par", par}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestQuickFig1aMatchesGoldenAtAnyParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign; skipped in -short mode")
+	}
+	goldenPath := filepath.Join("testdata", "quick-fig1a.golden.csv")
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := benchCSV(t, "1")
+	if !bytes.Equal(serial, golden) {
+		t.Errorf("-par 1 output deviates from %s:\ngot:\n%s\nwant:\n%s", goldenPath, serial, golden)
+	}
+	wide := benchCSV(t, "8")
+	if !bytes.Equal(wide, serial) {
+		t.Errorf("-par 8 output differs from -par 1:\n-par 8:\n%s\n-par 1:\n%s", wide, serial)
+	}
+}

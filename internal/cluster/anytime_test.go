@@ -139,6 +139,62 @@ func TestAdaptUnboundedCompletes(t *testing.T) {
 	}
 }
 
+// TestPolicyGRADeadlineDegradesEveryEpochDeterministically pins the exact
+// degradation count: PolicyGRA re-optimises every epoch unconditionally (no
+// change detector in the way), so a 1ns deadline degrades all Epochs epochs
+// — no more, no less — and two identical runs degrade identically, serving
+// the untouched initial scheme throughout with zero migrations charged.
+func TestPolicyGRADeadlineDegradesEveryEpochDeterministically(t *testing.T) {
+	p := gen(t, 12, 20, 0.05, 0.15, 26)
+	cfg := testConfig(PolicyGRA)
+	cfg.Epochs = 3
+	cfg.EpochTimeout = 1
+
+	runOnce := func() *Result {
+		t.Helper()
+		res, err := Run(p, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first, second := runOnce(), runOnce()
+
+	for _, res := range []*Result{first, second} {
+		degraded := 0
+		for i, e := range res.Epochs {
+			if !e.AdaptDegraded {
+				t.Fatalf("epoch %d completed a GRA run inside 1ns", i)
+			}
+			degraded++
+			if e.AdaptStopped != solver.StopDeadline {
+				t.Fatalf("epoch %d stopped %v, want deadline", i, e.AdaptStopped)
+			}
+			if e.Migrations != 0 || e.MigrationNTC != 0 {
+				t.Fatalf("epoch %d charged %d migrations (NTC %d) on a degraded adaptation",
+					i, e.Migrations, e.MigrationNTC)
+			}
+			// No drift is configured, so the kept scheme is primaries-only
+			// (nil initial) and every epoch serves at exactly D′.
+			if e.ServeNTC != p.DPrime() {
+				t.Fatalf("epoch %d served NTC %d, want D′ %d", i, e.ServeNTC, p.DPrime())
+			}
+		}
+		if degraded != cfg.Epochs {
+			t.Fatalf("degraded %d epochs, want exactly %d", degraded, cfg.Epochs)
+		}
+		if extra := res.FinalScheme.TotalReplicas(); extra != 0 {
+			t.Fatalf("degraded monitor grew the scheme by %d replicas beyond the primaries", extra)
+		}
+	}
+	for i := range first.Epochs {
+		a, b := first.Epochs[i], second.Epochs[i]
+		if a.AdaptDegraded != b.AdaptDegraded || a.ServeNTC != b.ServeNTC || a.Migrations != b.Migrations {
+			t.Fatalf("epoch %d diverged across identical runs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
 func TestNegativeCapsRejected(t *testing.T) {
 	p := gen(t, 5, 5, 0.05, 0.15, 25)
 	bad := testConfig(PolicyNone)

@@ -47,16 +47,31 @@ func ReadProblem(r io.Reader) (*Problem, error) {
 	if err := json.NewDecoder(r).Decode(&pj); err != nil {
 		return nil, fmt.Errorf("core: decode problem: %w", err)
 	}
+	// Dimension guards come before any allocation or matrix indexing so
+	// malformed input (fuzzers, truncated files) yields errors, not panics.
+	if pj.Sites < 1 {
+		return nil, fmt.Errorf("core: problem header declares %d sites", pj.Sites)
+	}
+	if pj.Objects != len(pj.Sizes) {
+		return nil, fmt.Errorf("core: problem header declares %d objects, sizes list has %d", pj.Objects, len(pj.Sizes))
+	}
 	if len(pj.Dist) != pj.Sites {
 		return nil, fmt.Errorf("core: distance matrix has %d rows, want %d", len(pj.Dist), pj.Sites)
 	}
-	dm := netsim.NewDistMatrix(pj.Sites)
+	// Every row length must be validated up front: filling the matrix below
+	// indexes pj.Dist[j][i] for j > i, i.e. rows not yet visited.
 	for i, row := range pj.Dist {
 		if len(row) != pj.Sites {
 			return nil, fmt.Errorf("core: distance row %d has %d entries, want %d", i, len(row), pj.Sites)
 		}
+	}
+	dm := netsim.NewDistMatrix(pj.Sites)
+	for i, row := range pj.Dist {
 		for j, v := range row {
 			if i == j {
+				if v != 0 {
+					return nil, fmt.Errorf("core: non-zero self-distance %d at site %d", v, i)
+				}
 				continue
 			}
 			if i < j {

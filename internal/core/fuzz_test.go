@@ -1,0 +1,100 @@
+package core_test
+
+// Native fuzz targets for the codec layer. The decoders face arbitrary
+// bytes; the contract pinned here is "error or a fully valid value, never a
+// panic", plus encode/decode round-tripping for accepted inputs.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drp/internal/core"
+	"drp/internal/netsim"
+)
+
+func FuzzReadProblem(f *testing.F) {
+	f.Add([]byte(`{"sites":2,"objects":2,"sizes":[1,2],"capacities":[10,10],` +
+		`"primaries":[0,1],"reads":[[1,2],[3,4]],"writes":[[0,1],[1,0]],"dist":[[0,3],[3,0]]}`))
+	f.Add([]byte(`{"sites":0,"objects":0,"sizes":[],"capacities":[],"primaries":[],"reads":[],"writes":[],"dist":[]}`))
+	f.Add([]byte(`{"sites":2,"objects":1,"sizes":[1],"capacities":[5,5],` +
+		`"primaries":[0],"reads":[[1],[1]],"writes":[[0],[0]],"dist":[[0,5],[7]]}`))
+	f.Add([]byte(`{"sites":-3}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := core.ReadProblem(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted instances must be fully coherent: the primaries-only
+		// scheme validates and the cached normaliser is consistent.
+		if p.DPrime() < 0 {
+			t.Fatalf("accepted instance has negative D′ %d", p.DPrime())
+		}
+		if err := core.NewScheme(p).Validate(); err != nil {
+			t.Fatalf("primaries-only scheme invalid on accepted instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
+			t.Fatalf("accepted instance does not re-encode: %v", err)
+		}
+		q, err := core.ReadProblem(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded instance rejected: %v", err)
+		}
+		if q.Sites() != p.Sites() || q.Objects() != p.Objects() || q.DPrime() != p.DPrime() {
+			t.Fatalf("round trip drifted: %d×%d D′=%d became %d×%d D′=%d",
+				p.Sites(), p.Objects(), p.DPrime(), q.Sites(), q.Objects(), q.DPrime())
+		}
+	})
+}
+
+// fuzzProblem is the fixed instance FuzzReadScheme decodes against.
+func fuzzProblem(t testing.TB) *core.Problem {
+	t.Helper()
+	dm := netsim.NewDistMatrix(3)
+	dm.Set(0, 1, 3)
+	dm.Set(0, 2, 5)
+	dm.Set(1, 2, 4)
+	p, err := core.NewProblem(core.Config{
+		Sizes:      []int64{1, 2},
+		Capacities: []int64{10, 4, 2},
+		Primaries:  []int{0, 1},
+		Reads:      [][]int64{{1, 2}, {3, 4}, {5, 6}},
+		Writes:     [][]int64{{0, 1}, {1, 0}, {2, 2}},
+		Dist:       dm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func FuzzReadScheme(f *testing.F) {
+	f.Add([]byte(`{"replicators":[[0],[1]]}`))
+	f.Add([]byte(`{"replicators":[[0,1],[1,2]]}`))
+	f.Add([]byte(`{"replicators":[[0,9],[1]]}`))
+	f.Add([]byte(`{"replicators":[[0,1,1],[1]]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := fuzzProblem(t)
+		s, err := core.ReadScheme(p, strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted scheme invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("accepted scheme does not re-encode: %v", err)
+		}
+		r, err := core.ReadScheme(p, &buf)
+		if err != nil {
+			t.Fatalf("re-encoded scheme rejected: %v", err)
+		}
+		if !r.Equal(s) {
+			t.Fatal("scheme round trip drifted")
+		}
+	})
+}

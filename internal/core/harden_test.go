@@ -1,0 +1,134 @@
+package core_test
+
+// Hardening tests: malformed codec input and magnitude overflows must come
+// back as errors, never as panics or silently wrapped arithmetic. These pin
+// the guards the fuzz targets (fuzz_test.go) lean on.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"drp/internal/core"
+	"drp/internal/netsim"
+)
+
+// readProblem runs ReadProblem on a literal JSON document and reports the
+// error, failing the test on panic.
+func readProblem(t *testing.T, doc string) error {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("ReadProblem panicked: %v", r)
+		}
+	}()
+	_, err := core.ReadProblem(strings.NewReader(doc))
+	return err
+}
+
+func TestReadProblemMalformedInputErrors(t *testing.T) {
+	cases := map[string]string{
+		"zero sites": `{"sites":0,"objects":0,"sizes":[],"capacities":[],` +
+			`"primaries":[],"reads":[],"writes":[],"dist":[]}`,
+		"negative sites": `{"sites":-3,"objects":1,"sizes":[1],"capacities":[],` +
+			`"primaries":[0],"reads":[],"writes":[],"dist":[]}`,
+		"objects header mismatch": `{"sites":1,"objects":2,"sizes":[1],"capacities":[5],` +
+			`"primaries":[0],"reads":[[1]],"writes":[[0]],"dist":[[0]]}`,
+		"ragged dist rows": `{"sites":2,"objects":1,"sizes":[1],"capacities":[5,5],` +
+			`"primaries":[0],"reads":[[1],[1]],"writes":[[0],[0]],"dist":[[0,5],[]]}`,
+		"short dist row checked before symmetric partner": `{"sites":2,"objects":1,"sizes":[1],` +
+			`"capacities":[5,5],"primaries":[0],"reads":[[1],[1]],"writes":[[0],[0]],"dist":[[0,5],[7]]}`,
+		"non-zero self distance": `{"sites":2,"objects":1,"sizes":[1],"capacities":[5,5],` +
+			`"primaries":[0],"reads":[[1],[1]],"writes":[[0],[0]],"dist":[[3,5],[5,0]]}`,
+		"asymmetric distances": `{"sites":2,"objects":1,"sizes":[1],"capacities":[5,5],` +
+			`"primaries":[0],"reads":[[1],[1]],"writes":[[0],[0]],"dist":[[0,5],[6,0]]}`,
+		"negative distance": `{"sites":2,"objects":1,"sizes":[1],"capacities":[5,5],` +
+			`"primaries":[0],"reads":[[1],[1]],"writes":[[0],[0]],"dist":[[0,-5],[-5,0]]}`,
+		"missing read rows": `{"sites":2,"objects":1,"sizes":[1],"capacities":[5,5],` +
+			`"primaries":[0],"reads":[[1]],"writes":[[0],[0]],"dist":[[0,5],[5,0]]}`,
+	}
+	for name, doc := range cases {
+		if err := readProblem(t, doc); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNewProblemRejectsOverflowingMagnitudes(t *testing.T) {
+	dm := netsim.NewDistMatrix(2)
+	dm.Set(0, 1, 10)
+	big := int64(math.MaxInt64 / 2)
+	cases := map[string]core.Config{
+		"sizes overflow": {
+			Sizes:      []int64{big, big, big},
+			Capacities: []int64{big, big},
+			Primaries:  []int{0, 0, 1},
+			Reads:      [][]int64{{0, 0, 0}, {0, 0, 0}},
+			Writes:     [][]int64{{0, 0, 0}, {0, 0, 0}},
+			Dist:       dm,
+		},
+		"read totals overflow": {
+			Sizes:      []int64{1},
+			Capacities: []int64{5, 5},
+			Primaries:  []int{0},
+			Reads:      [][]int64{{big}, {big}},
+			Writes:     [][]int64{{0}, {0}},
+			Dist:       dm,
+		},
+		"traffic volume overflows cost range": {
+			Sizes:      []int64{math.MaxInt64 / 4},
+			Capacities: []int64{math.MaxInt64 / 2, 1},
+			Primaries:  []int{0},
+			Reads:      [][]int64{{100}, {100}},
+			Writes:     [][]int64{{1}, {1}},
+			Dist:       dm,
+		},
+	}
+	for name, cfg := range cases {
+		if _, err := core.NewProblem(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestReadSchemeMalformedInputErrors pins the scheme decoder's guards
+// against shape mismatches, range violations and duplicates.
+func TestReadSchemeMalformedInputErrors(t *testing.T) {
+	p := tinyProblem(t)
+	cases := map[string]string{
+		"wrong object count": `{"replicators":[[0]]}`,
+		"out of range site":  `{"replicators":[[0,9],[1]]}`,
+		"negative site":      `{"replicators":[[-1],[1]]}`,
+		"duplicate replica":  `{"replicators":[[0,1,1],[1]]}`,
+	}
+	for name, doc := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s: ReadScheme panicked: %v", name, r)
+				}
+			}()
+			if _, err := core.ReadScheme(p, strings.NewReader(doc)); err == nil {
+				t.Errorf("%s: accepted", name)
+			}
+		}()
+	}
+}
+
+func tinyProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	dm := netsim.NewDistMatrix(2)
+	dm.Set(0, 1, 3)
+	p, err := core.NewProblem(core.Config{
+		Sizes:      []int64{1, 2},
+		Capacities: []int64{10, 10},
+		Primaries:  []int{0, 1},
+		Reads:      [][]int64{{1, 2}, {3, 4}},
+		Writes:     [][]int64{{0, 1}, {1, 0}},
+		Dist:       dm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -87,6 +87,16 @@ func NewProblem(cfg Config) (*Problem, error) {
 			return nil, fmt.Errorf("core: site %d has negative capacity %d", i, c)
 		}
 	}
+	// Σ o_k must fit int64: every storage-accounting quantity (per-site
+	// usage, primary loads) is bounded by it, so this one checked sum makes
+	// all later size arithmetic overflow-free.
+	var sizeSum int64
+	for k, sz := range p.size {
+		var ok bool
+		if sizeSum, ok = addNonNeg(sizeSum, sz); !ok {
+			return nil, fmt.Errorf("core: object sizes overflow int64 at object %d", k)
+		}
+	}
 	primaryUse := make([]int64, m)
 	for k, sp := range p.primary {
 		if sp < 0 || sp >= m {
@@ -114,19 +124,82 @@ func NewProblem(cfg Config) (*Problem, error) {
 			p.writes[i*n+k] = w
 		}
 	}
-	p.buildCaches()
+	if err := p.buildCaches(); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
-func (p *Problem) buildCaches() {
+// addNonNeg returns a+b and whether the sum of the two non-negative values
+// stayed within int64.
+func addNonNeg(a, b int64) (int64, bool) {
+	s := a + b
+	return s, s >= a
+}
+
+// mulNonNeg returns a·b and whether the product of the two non-negative
+// values stayed within int64.
+func mulNonNeg(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	prod := a * b
+	return prod, prod/a == b && prod >= 0
+}
+
+func (p *Problem) buildCaches() error {
 	p.totalReads = make([]int64, p.n)
 	p.totalWrites = make([]int64, p.n)
 	for i := 0; i < p.m; i++ {
 		row := p.reads[i*p.n : (i+1)*p.n]
 		wrow := p.writes[i*p.n : (i+1)*p.n]
 		for k := 0; k < p.n; k++ {
-			p.totalReads[k] += row[k]
-			p.totalWrites[k] += wrow[k]
+			var ok1, ok2 bool
+			p.totalReads[k], ok1 = addNonNeg(p.totalReads[k], row[k])
+			p.totalWrites[k], ok2 = addNonNeg(p.totalWrites[k], wrow[k])
+			if !ok1 || !ok2 {
+				return fmt.Errorf("core: read/write totals for object %d overflow int64", k)
+			}
+		}
+	}
+	// Worst-case NTC bound: any scheme's eq. 4 cost is at most
+	// Σ_k (1 + Rtot_k + (M+1)·Wtot_k)·o_k·maxC (reads from the farthest
+	// replica, every site a replicator paying the full update fan-in, plus
+	// one object-transfer term covering migration accounting). If that bound
+	// fits int64, every cost the evaluators, delta evaluator and cluster
+	// simulator can compute fits too — so they never need per-term checks.
+	var maxC int64
+	for i := 0; i < p.m; i++ {
+		for _, c := range p.dist.Row(i) {
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	var bound int64
+	for k := 0; k < p.n; k++ {
+		fanIn, ok := mulNonNeg(int64(p.m)+1, p.totalWrites[k])
+		if !ok {
+			return errMagnitude(k)
+		}
+		traffic, ok := addNonNeg(p.totalReads[k], fanIn)
+		if !ok {
+			return errMagnitude(k)
+		}
+		traffic, ok = addNonNeg(traffic, 1)
+		if !ok {
+			return errMagnitude(k)
+		}
+		vol, ok := mulNonNeg(traffic, p.size[k])
+		if !ok {
+			return errMagnitude(k)
+		}
+		cost, ok := mulNonNeg(vol, maxC)
+		if !ok {
+			return errMagnitude(k)
+		}
+		if bound, ok = addNonNeg(bound, cost); !ok {
+			return errMagnitude(k)
 		}
 	}
 	mean := p.dist.MeanRowSum()
@@ -150,6 +223,11 @@ func (p *Problem) buildCaches() {
 		p.vPrime[k] = v
 		p.dPrime += v
 	}
+	return nil
+}
+
+func errMagnitude(k int) error {
+	return fmt.Errorf("core: traffic volume of object %d overflows the int64 cost range", k)
 }
 
 // Sites returns M, the number of sites.
