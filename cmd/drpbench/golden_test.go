@@ -8,18 +8,34 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"drp/internal/metrics"
 )
 
-func benchCSV(t *testing.T, par string) []byte {
+// benchCSV runs the quick fig-1a campaign at the given parallelism and
+// returns the CSV bytes plus the JSON of the run's deterministic metric
+// snapshot (counters and histograms, minus wall-clock series).
+func benchCSV(t *testing.T, par string) ([]byte, string) {
 	t.Helper()
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-preset", "quick", "-fig", "1a", "-csv", "-q", "-par", par}, &out, &errOut); err != nil {
+	args := []string{"-preset", "quick", "-fig", "1a", "-csv", "-q", "-par", par, "-metrics-out", metricsPath}
+	if err := run(args, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
-	return out.Bytes()
+	snap, err := metrics.ReadSnapshotFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := json.Marshal(snap.Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes(), string(det)
 }
 
 func TestQuickFig1aMatchesGoldenAtAnyParallelism(t *testing.T) {
@@ -31,12 +47,20 @@ func TestQuickFig1aMatchesGoldenAtAnyParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial := benchCSV(t, "1")
+	serial, serialMetrics := benchCSV(t, "1")
 	if !bytes.Equal(serial, golden) {
 		t.Errorf("-par 1 output deviates from %s:\ngot:\n%s\nwant:\n%s", goldenPath, serial, golden)
 	}
-	wide := benchCSV(t, "8")
+	wide, wideMetrics := benchCSV(t, "8")
 	if !bytes.Equal(wide, serial) {
 		t.Errorf("-par 8 output differs from -par 1:\n-par 8:\n%s\n-par 1:\n%s", wide, serial)
+	}
+	// The parity extends to telemetry: the instrumented campaign's
+	// deterministic metric snapshot is identical at any worker count.
+	if wideMetrics != serialMetrics {
+		t.Errorf("-par 8 metric snapshot differs from -par 1:\n-par 8:\n%s\n-par 1:\n%s", wideMetrics, serialMetrics)
+	}
+	if serialMetrics == `{"instruments":null}` || serialMetrics == `{"instruments":[]}` {
+		t.Error("instrumented campaign produced an empty deterministic snapshot")
 	}
 }

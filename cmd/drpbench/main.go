@@ -10,6 +10,11 @@
 // Figures: 1a 1b 1c 1d (SRA/GRA savings & replicas vs sites/objects),
 // 2a 2b (runtimes vs sites), 3a 3b (savings vs update ratio / capacity),
 // 4a 4b 4c 4d (adaptive AGRA policies under pattern changes).
+//
+// Observability: -metrics-out writes a JSON snapshot of the campaign's
+// solver instruments (drp_solver_* families) after all figures render;
+// -events streams per-iteration solver progress as JSONL. The deterministic
+// part of the snapshot is identical at any -par setting.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"drp/internal/experiments"
+	"drp/internal/metrics"
 	"drp/internal/report"
 	"drp/internal/solver"
 )
@@ -36,19 +42,21 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("drpbench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure id (1a..4d) or 'all'")
-		preset   = fs.String("preset", "quick", "campaign preset: quick | paper | tiny")
-		networks = fs.Int("networks", 0, "override: networks averaged per point")
-		gens     = fs.Int("gens", 0, "override: GRA generations")
-		pop      = fs.Int("pop", 0, "override: GRA population size")
-		seed     = fs.Uint64("seed", 0, "override: campaign seed")
-		par      = fs.Int("par", 0, "worker count for sweep cells (0 = all cores, 1 = serial); results are identical at any setting")
-		timeout  = fs.Duration("timeout", 0, "wall-clock cap per GA run; capped runs report their best scheme so far (0 = none)")
-		budget   = fs.Int("budget", 0, "cost-model evaluation cap per GA run (0 = none)")
-		progress = fs.Bool("progress", false, "stream per-generation solver progress to stderr")
-		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
-		svgDir   = fs.String("svg", "", "also write each figure as an SVG chart into this directory")
-		quiet    = fs.Bool("q", false, "suppress progress output")
+		fig        = fs.String("fig", "all", "figure id (1a..4d) or 'all'")
+		preset     = fs.String("preset", "quick", "campaign preset: quick | paper | tiny")
+		networks   = fs.Int("networks", 0, "override: networks averaged per point")
+		gens       = fs.Int("gens", 0, "override: GRA generations")
+		pop        = fs.Int("pop", 0, "override: GRA population size")
+		seed       = fs.Uint64("seed", 0, "override: campaign seed")
+		par        = fs.Int("par", 0, "worker count for sweep cells (0 = all cores, 1 = serial); results are identical at any setting")
+		timeout    = fs.Duration("timeout", 0, "wall-clock cap per GA run; capped runs report their best scheme so far (0 = none)")
+		budget     = fs.Int("budget", 0, "cost-model evaluation cap per GA run (0 = none)")
+		progress   = fs.Bool("progress", false, "stream per-generation solver progress to stderr")
+		csv        = fs.Bool("csv", false, "emit CSV instead of tables")
+		svgDir     = fs.String("svg", "", "also write each figure as an SVG chart into this directory")
+		quiet      = fs.Bool("q", false, "suppress progress output")
+		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot of the campaign's solver instruments to this file")
+		eventsOut  = fs.String("events", "", "append structured JSONL solver events to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +102,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "%s it=%d best=%.4f evals=%d elapsed=%v\n",
 				pr.Algorithm, pr.Iteration, pr.BestFitness, pr.Evaluations, pr.Elapsed.Round(time.Millisecond))
 		}))
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+	}
+	var events *metrics.EventLog
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = metrics.NewEventLog(f)
+	}
+	if reg != nil || events != nil {
+		// The bridge is concurrency-safe by construction; only the chained
+		// -progress observer (if any) needs the Synchronized wrapper it
+		// already has.
+		cfg.Observer = metrics.BridgeObserver(reg, events, cfg.Observer)
 	}
 
 	logFn := func(format string, a ...interface{}) {
@@ -174,6 +201,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			continue
 		}
 		if err := result.Render(stdout); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteSnapshotFile(reg, *metricsOut); err != nil {
 			return err
 		}
 	}

@@ -9,7 +9,13 @@
 //	drpcluster -policy none -fail-site 3 -fail-from 2 -fail-to 4
 //
 // It prints one row per epoch: measured serving cost versus the analytic
-// model, migrations, failures and savings.
+// model, migrations, failures and savings, then a one-line summary.
+//
+// Observability: -listen-metrics serves live Prometheus text at /metrics
+// (plus /debug/vars and /debug/pprof) while the simulation runs; -serve-for
+// keeps the endpoint up after the last epoch so a scraper can collect the
+// final state. -metrics-out snapshots the same registry to a JSON file and
+// -events streams per-epoch and per-adaptation JSONL events.
 package main
 
 import (
@@ -17,10 +23,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"drp/internal/agra"
 	"drp/internal/cluster"
 	"drp/internal/gra"
+	"drp/internal/metrics"
+	"drp/internal/netnode"
 	"drp/internal/sra"
 	"drp/internal/workload"
 )
@@ -51,6 +60,11 @@ func run(args []string, stdout io.Writer) error {
 		failFrom = fs.Int("fail-from", 0, "first failed epoch")
 		failTo   = fs.Int("fail-to", 0, "one past the last failed epoch")
 		compare  = fs.Bool("compare", false, "run every policy on identical traffic and print a comparison table")
+
+		listenMetrics = fs.String("listen-metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
+		serveFor      = fs.Duration("serve-for", 0, "keep the metrics endpoint up this long after the run (0 = exit immediately)")
+		metricsOut    = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+		eventsOut     = fs.String("events", "", "append structured JSONL events to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +108,36 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Failures = []cluster.Failure{{Site: *failSite, From: *failFrom, To: *failTo}}
 	}
 
+	var reg *metrics.Registry
+	if *listenMetrics != "" || *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Events = metrics.NewEventLog(f)
+	}
+	if *listenMetrics != "" {
+		// Expose the full metric surface from the first scrape: families a
+		// quiet run never touches still appear, at zero.
+		metrics.RegisterSolverFamilies(reg, pol.String())
+		cluster.RegisterMetricFamilies(reg)
+		netnode.RegisterMetricFamilies(reg)
+		srv, err := metrics.Serve(*listenMetrics, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", srv.Addr())
+		if *serveFor > 0 {
+			defer time.Sleep(*serveFor)
+		}
+	}
+
 	if *compare {
 		cmp, err := cluster.Compare(p, initial, cfg, []cluster.Policy{
 			cluster.PolicyNone, cluster.PolicySRA, cluster.PolicyAGRA,
@@ -125,9 +169,15 @@ func run(args []string, stdout io.Writer) error {
 			e.Epoch, e.Reads, e.Writes, e.ServeNTC, e.ModelNTC, e.Savings,
 			e.MeanReadCost, e.ReadCostP95, e.Migrations, e.Changed, e.FailedReads+e.FailedWrites, mark)
 	}
-	fmt.Fprintf(stdout, "\ntotal NTC (serve+migrate): %d\n", res.TotalNTC())
+	fmt.Fprintf(stdout, "\nsummary: epochs=%d degraded=%d migrations=%d migrationNTC=%d serveNTC=%d total NTC (serve+migrate)=%d\n",
+		len(res.Epochs), res.DegradedEpochs(), res.TotalMigrations(), res.TotalMigrationNTC(), res.TotalServeNTC(), res.TotalNTC())
 	if degraded > 0 {
 		fmt.Fprintf(stdout, "adapt misses (*): %d epoch(s) kept the previous scheme after hitting the re-optimisation cap\n", degraded)
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteSnapshotFile(reg, *metricsOut); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,8 +2,17 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"drp/internal/metrics"
 )
 
 func TestClusterRunsAllPolicies(t *testing.T) {
@@ -46,6 +55,128 @@ func TestClusterBadWorkload(t *testing.T) {
 	if err := run([]string{"-sites", "0"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("zero sites accepted")
 	}
+}
+
+func TestClusterSummaryAndTelemetryFiles(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	var out bytes.Buffer
+	err := run([]string{
+		"-sites", "8", "-objects", "12", "-epochs", "3", "-policy", "agra+mini",
+		"-drift", "0.2", "-metrics-out", metricsPath, "-events", eventsPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The end-of-run summary reports every aggregate on one line.
+	summary := regexp.MustCompile(`summary: epochs=3 degraded=\d+ migrations=\d+ migrationNTC=\d+ serveNTC=\d+ total NTC \(serve\+migrate\)=\d+`)
+	if !summary.MatchString(out.String()) {
+		t.Errorf("missing or malformed summary line:\n%s", out.String())
+	}
+
+	snap, err := metrics.ReadSnapshotFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs float64
+	for _, is := range snap.Instruments {
+		if is.Name == "drp_cluster_epochs_total" {
+			epochs = is.Value
+		}
+	}
+	if epochs != 3 {
+		t.Errorf("snapshot epochs counter = %v, want 3", epochs)
+	}
+
+	eventsData, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(eventsData), `"event":"cluster.epoch"`); got != 3 {
+		t.Errorf("event log has %d cluster.epoch records, want 3:\n%s", got, eventsData)
+	}
+}
+
+// TestClusterListenMetricsServes scrapes the live endpoint while the CLI
+// runs: the acceptance criterion that -listen-metrics 127.0.0.1:0 serves
+// Prometheus text carrying solver, cluster-epoch and netnode families.
+func TestClusterListenMetricsServes(t *testing.T) {
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-sites", "6", "-objects", "8", "-epochs", "2", "-policy", "agra+mini",
+			"-drift", "0.2", "-listen-metrics", "127.0.0.1:0", "-serve-for", "2s",
+		}, out)
+	}()
+
+	// The address line is printed before the simulation starts.
+	addrRE := regexp.MustCompile(`metrics: http://([^/\s]+)/metrics`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("metrics address never printed:\n%s", out.String())
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	for _, family := range []string{
+		"drp_solver_runs_total", "drp_solver_iterations_total",
+		"drp_cluster_epochs_total", "drp_cluster_serve_ntc_total",
+		"drp_net_messages_total",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	if !strings.Contains(string(body), "# TYPE drp_cluster_epochs_total counter") {
+		t.Errorf("/metrics missing TYPE metadata:\n%.2000s", body)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("drpcluster run did not finish")
+	}
+}
+
+// syncBuffer lets the test read CLI output while run() is still writing.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 func TestClusterCompareMode(t *testing.T) {

@@ -8,6 +8,11 @@
 //
 //	drpnet -sites 10 -objects 20                  # generate and run
 //	drpnet -in problem.json -algo gra -gens 30    # optimise then serve
+//
+// Observability: -listen-metrics serves the nodes' shared drp_net_* request
+// instruments (latency histograms, replica-hit and NTC counters) as
+// Prometheus text at /metrics, plus /debug/vars and /debug/pprof;
+// -serve-for keeps the endpoint up after the traffic finishes.
 package main
 
 import (
@@ -15,8 +20,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"drp"
+	"drp/internal/metrics"
 	"drp/internal/netnode"
 )
 
@@ -39,6 +46,9 @@ func run(args []string, stdout io.Writer) error {
 		algo     = fs.String("algo", "sra", "placement algorithm: none | sra | gra")
 		pop      = fs.Int("pop", 16, "GRA population size")
 		gens     = fs.Int("gens", 15, "GRA generations")
+
+		listenMetrics = fs.String("listen-metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
+		serveFor      = fs.Duration("serve-for", 0, "keep the metrics endpoint up this long after the run (0 = exit immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +97,21 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer cluster.Close()
+
+	if *listenMetrics != "" {
+		reg := metrics.NewRegistry()
+		netnode.RegisterMetricFamilies(reg)
+		cluster.EnableMetrics(reg)
+		srv, err := metrics.Serve(*listenMetrics, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", srv.Addr())
+		if *serveFor > 0 {
+			defer time.Sleep(*serveFor)
+		}
+	}
 
 	fmt.Fprintf(stdout, "booted %d TCP sites on loopback (e.g. site 0 at %s)\n",
 		p.Sites(), cluster.Node(0).Addr())

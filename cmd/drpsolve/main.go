@@ -15,6 +15,12 @@
 // interrupted run still prints the best valid scheme found so far; the
 // "stopped:" line says why it ended. Flags that do not apply to the chosen
 // algorithm are rejected (e.g. -pop with -algo sra).
+//
+// Observability: -metrics-out writes a JSON snapshot of the run's
+// instruments (drp_solver_* families), -events streams structured JSONL
+// events (solver.progress, solver.finished), and -manifest writes a
+// self-describing run manifest (flags, seed, git revision, final D and its
+// eq. 4 term breakdown).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"drp"
+	"drp/internal/metrics"
 	"drp/internal/trace"
 )
 
@@ -48,7 +55,10 @@ var flagsFor = map[string]map[string]bool{
 	"none":     {},
 }
 
-var commonFlags = map[string]bool{"algo": true, "in": true, "out": true, "replay": true}
+var commonFlags = map[string]bool{
+	"algo": true, "in": true, "out": true, "replay": true,
+	"metrics-out": true, "events": true, "manifest": true,
+}
 
 // checkFlags rejects explicitly-set flags the chosen algorithm ignores.
 func checkFlags(fs *flag.FlagSet, algo string) error {
@@ -72,24 +82,41 @@ func checkFlags(fs *flag.FlagSet, algo string) error {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("drpsolve", flag.ContinueOnError)
 	var (
-		algo     = fs.String("algo", "sra", "algorithm: sra | gra | hill | random | readonly | none | optimal")
-		in       = fs.String("in", "", "problem JSON (default: stdin)")
-		out      = fs.String("out", "", "write the scheme as JSON to this file")
-		seed     = fs.Uint64("seed", 1, "algorithm seed (gra, random)")
-		pop      = fs.Int("pop", 50, "GRA population size Np")
-		gens     = fs.Int("gens", 80, "GRA generations Ng")
-		par      = fs.Int("par", 0, "GRA evaluation workers (0 = all cores, 1 = serial)")
-		maxBits  = fs.Int("maxbits", 24, "optimal: maximum free placement bits")
-		timeout  = fs.Duration("timeout", 0, "wall-clock limit; the best scheme so far is reported (0 = none)")
-		budget   = fs.Int("budget", 0, "cost-model evaluation limit (0 = none)")
-		progress = fs.Bool("progress", false, "stream per-iteration progress to stderr")
-		replay   = fs.String("replay", "", "replay a request trace (JSON lines) against the solved scheme")
+		algo       = fs.String("algo", "sra", "algorithm: sra | gra | hill | random | readonly | none | optimal")
+		in         = fs.String("in", "", "problem JSON (default: stdin)")
+		out        = fs.String("out", "", "write the scheme as JSON to this file")
+		seed       = fs.Uint64("seed", 1, "algorithm seed (gra, random)")
+		pop        = fs.Int("pop", 50, "GRA population size Np")
+		gens       = fs.Int("gens", 80, "GRA generations Ng")
+		par        = fs.Int("par", 0, "GRA evaluation workers (0 = all cores, 1 = serial)")
+		maxBits    = fs.Int("maxbits", 24, "optimal: maximum free placement bits")
+		timeout    = fs.Duration("timeout", 0, "wall-clock limit; the best scheme so far is reported (0 = none)")
+		budget     = fs.Int("budget", 0, "cost-model evaluation limit (0 = none)")
+		progress   = fs.Bool("progress", false, "stream per-iteration progress to stderr")
+		replay     = fs.String("replay", "", "replay a request trace (JSON lines) against the solved scheme")
+		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+		eventsOut  = fs.String("events", "", "append structured JSONL events to this file")
+		manifest   = fs.String("manifest", "", "write a run manifest (JSON) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := checkFlags(fs, *algo); err != nil {
 		return err
+	}
+
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+	}
+	var events *metrics.EventLog
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = metrics.NewEventLog(f)
 	}
 
 	var r io.Reader = os.Stdin
@@ -112,6 +139,18 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(os.Stderr, "%s it=%d best=%.4f cost=%d evals=%d elapsed=%v\n",
 				pr.Algorithm, pr.Iteration, pr.BestFitness, pr.BestCost, pr.Evaluations, pr.Elapsed.Round(time.Millisecond))
 		})
+	}
+	if reg != nil || events != nil {
+		runOpts.Observer = metrics.BridgeObserver(reg, events, runOpts.Observer)
+	}
+
+	var man *metrics.Manifest
+	if *manifest != "" {
+		man = metrics.NewManifest("drpsolve", args)
+		man.Seed = *seed
+		man.Sites = p.Sites()
+		man.Objects = p.Objects()
+		man.Algorithm = *algo
 	}
 
 	start := time.Now()
@@ -162,6 +201,34 @@ func run(args []string, stdout io.Writer) error {
 	if stats != nil {
 		fmt.Fprintf(stdout, "evaluations: %d\n", stats.Evaluations)
 		fmt.Fprintf(stdout, "stopped:     %s\n", stats.Stopped)
+	}
+
+	if stats != nil && (reg != nil || events != nil) {
+		metrics.RecordStats(reg, *algo, *stats, events)
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteSnapshotFile(reg, *metricsOut); err != nil {
+			return err
+		}
+	}
+	if man != nil {
+		terms := scheme.CostTerms()
+		man.FinalD = cost
+		man.DPrime = p.DPrime()
+		man.SavingsPct = p.Savings(cost)
+		man.Terms = map[string]int64{
+			"read_ntc":   terms.ReadNTC,
+			"write_ntc":  terms.WriteNTC,
+			"update_ntc": terms.UpdateNTC,
+		}
+		if stats != nil {
+			man.Evaluations = stats.Evaluations
+			man.Iterations = stats.Iterations
+			man.Stopped = stats.Stopped.String()
+		}
+		if err := man.Write(*manifest); err != nil {
+			return err
+		}
 	}
 
 	if *replay != "" {

@@ -3,9 +3,11 @@ package main
 import (
 	"fmt"
 
+	"drp/internal/metrics"
 	"drp/internal/trace"
 
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -180,6 +182,73 @@ func TestSolveParFlagDeterministic(t *testing.T) {
 	}
 	if outputs[0] != outputs[1] {
 		t.Fatalf("-par changed the result:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestSolveTelemetryOutputs(t *testing.T) {
+	path := writeProblem(t)
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-algo", "gra", "-pop", "8", "-gens", "5", "-in", path,
+		"-metrics-out", metricsPath, "-events", eventsPath, "-manifest", manifestPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot parses and carries the solver families.
+	snap, err := metrics.ReadSnapshotFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, is := range snap.Instruments {
+		names[is.Name] = true
+	}
+	for _, want := range []string{"drp_solver_iterations_total", "drp_solver_runs_total", "drp_solver_evaluations_total"} {
+		if !names[want] {
+			t.Errorf("snapshot missing %s (have %v)", want, names)
+		}
+	}
+
+	// The manifest records the result, and its eq. 4 terms sum to final D.
+	manifestData, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Tool      string           `json:"tool"`
+		Algorithm string           `json:"algorithm"`
+		FinalD    int64            `json:"final_d"`
+		Terms     map[string]int64 `json:"eq4_terms"`
+		Stopped   string           `json:"stopped"`
+	}
+	if err := json.Unmarshal(manifestData, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "drpsolve" || man.Algorithm != "gra" || man.Stopped != "completed" {
+		t.Errorf("manifest header wrong: %+v", man)
+	}
+	var termSum int64
+	for _, v := range man.Terms {
+		termSum += v
+	}
+	if len(man.Terms) != 3 || termSum != man.FinalD {
+		t.Errorf("eq4_terms %v sum to %d, want final_d %d", man.Terms, termSum, man.FinalD)
+	}
+
+	// The event log holds per-iteration progress plus the finish record.
+	eventsData, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(eventsData), `"event":"solver.progress"`) ||
+		!strings.Contains(string(eventsData), `"event":"solver.finished"`) {
+		t.Errorf("event log missing expected records:\n%s", eventsData)
 	}
 }
 

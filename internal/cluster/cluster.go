@@ -21,6 +21,7 @@ import (
 	"drp/internal/agra"
 	"drp/internal/core"
 	"drp/internal/gra"
+	"drp/internal/metrics"
 	"drp/internal/solver"
 	"drp/internal/workload"
 )
@@ -92,6 +93,15 @@ type Config struct {
 	// AdaptBudget caps each epoch's re-optimisation at this many cost-model
 	// evaluations, with the same degradation behaviour. 0 means unbounded.
 	AdaptBudget int
+	// Metrics, when non-nil, receives the epoch instrument families
+	// (drp_cluster_*) and per-iteration solver progress from the monitor's
+	// re-optimisations (drp_solver_*). Instrumentation never feeds back
+	// into the simulation, so instrumented runs are bit-identical to bare
+	// ones.
+	Metrics *metrics.Registry
+	// Events, when non-nil, receives one structured "cluster.epoch" event
+	// per epoch plus the monitor's solver progress stream as JSONL.
+	Events *metrics.EventLog
 	// Seed makes runs reproducible.
 	Seed uint64
 }
@@ -132,8 +142,11 @@ type EpochStats struct {
 
 	// ServeNTC is the measured transfer cost of serving requests; ModelNTC
 	// is eq. 4's prediction for the same patterns and scheme (they are
-	// equal when no site failed during the epoch).
+	// equal when no site failed during the epoch). ReadNTC/WriteNTC split
+	// ServeNTC by request kind (ReadNTC + WriteNTC == ServeNTC always).
 	ServeNTC int64
+	ReadNTC  int64
+	WriteNTC int64
 	ModelNTC int64
 	// MigrationNTC is the cost of shipping objects for scheme changes
 	// applied at the start of the epoch, and Migrations the replica count
@@ -187,6 +200,36 @@ func (r *Result) TotalNTC() int64 {
 	total := r.TotalServeNTC()
 	for _, e := range r.Epochs {
 		total += e.MigrationNTC
+	}
+	return total
+}
+
+// TotalMigrations sums the replica moves over all epochs.
+func (r *Result) TotalMigrations() int {
+	total := 0
+	for _, e := range r.Epochs {
+		total += e.Migrations
+	}
+	return total
+}
+
+// TotalMigrationNTC sums the transfer cost of those moves.
+func (r *Result) TotalMigrationNTC() int64 {
+	var total int64
+	for _, e := range r.Epochs {
+		total += e.MigrationNTC
+	}
+	return total
+}
+
+// DegradedEpochs counts the epochs whose re-optimisation missed its
+// deadline or budget and kept serving the previous scheme.
+func (r *Result) DegradedEpochs() int {
+	total := 0
+	for _, e := range r.Epochs {
+		if e.AdaptDegraded {
+			total++
+		}
 	}
 	return total
 }

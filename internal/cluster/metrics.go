@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"drp/internal/metrics"
+)
+
+// clusterInstruments caches the drp_cluster_* instrument handles one
+// simulation records into. Creating the struct registers every family, so
+// an exposition endpoint shows the full surface from the first scrape even
+// before an epoch completes.
+type clusterInstruments struct {
+	epochs       *metrics.Counter
+	degraded     *metrics.Counter
+	reads        *metrics.Counter
+	writes       *metrics.Counter
+	failedReads  *metrics.Counter
+	failedWrites *metrics.Counter
+	serveRead    *metrics.Counter
+	serveWrite   *metrics.Counter
+	migrations   *metrics.Counter
+	migrationNTC *metrics.Counter
+	changed      *metrics.Counter
+	adaptEvals   *metrics.Counter
+	adaptSeconds *metrics.Histogram
+}
+
+func newClusterInstruments(reg *metrics.Registry) *clusterInstruments {
+	return &clusterInstruments{
+		epochs:       reg.Counter("drp_cluster_epochs_total", "Measurement periods simulated.", nil),
+		degraded:     reg.Counter("drp_cluster_degraded_epochs_total", "Epochs whose re-optimisation missed its deadline or budget and kept the previous scheme.", nil),
+		reads:        reg.Counter("drp_cluster_requests_total", "Requests served.", metrics.Labels{"op": "read"}),
+		writes:       reg.Counter("drp_cluster_requests_total", "Requests served.", metrics.Labels{"op": "write"}),
+		failedReads:  reg.Counter("drp_cluster_failed_requests_total", "Requests lost to site failures.", metrics.Labels{"op": "read"}),
+		failedWrites: reg.Counter("drp_cluster_failed_requests_total", "Requests lost to site failures.", metrics.Labels{"op": "write"}),
+		serveRead:    reg.Counter("drp_cluster_serve_ntc_total", "Transfer cost of serving requests, by request kind.", metrics.Labels{"op": "read"}),
+		serveWrite:   reg.Counter("drp_cluster_serve_ntc_total", "Transfer cost of serving requests, by request kind.", metrics.Labels{"op": "write"}),
+		migrations:   reg.Counter("drp_cluster_migrations_total", "Replicas moved by scheme changes.", nil),
+		migrationNTC: reg.Counter("drp_cluster_migration_ntc_total", "Transfer cost of shipping replicas for scheme changes.", nil),
+		changed:      reg.Counter("drp_cluster_changed_objects_total", "Objects the monitor's change detector flagged.", nil),
+		adaptEvals:   reg.Counter("drp_cluster_adapt_evaluations_total", "Cost-model evaluations spent on epoch re-optimisations.", nil),
+		adaptSeconds: reg.Histogram("drp_cluster_adapt_seconds", "Wall-clock time of each epoch's re-optimisation.", metrics.LatencyBuckets(), nil),
+	}
+}
+
+// RegisterMetricFamilies pre-creates the drp_cluster_* families in reg at
+// zero, for endpoints that must expose the full surface before a
+// simulation has recorded anything.
+func RegisterMetricFamilies(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	newClusterInstruments(reg)
+}

@@ -8,6 +8,7 @@ import (
 	"drp/internal/bitset"
 	"drp/internal/core"
 	"drp/internal/gra"
+	"drp/internal/metrics"
 	"drp/internal/simevent"
 	"drp/internal/solver"
 	"drp/internal/sra"
@@ -43,6 +44,12 @@ func Run(p *core.Problem, initial *core.Scheme, cfg Config) (*Result, error) {
 		problem: p,
 		scheme:  initial.Clone(),
 		down:    make([]bool, p.Sites()),
+	}
+	if cfg.Metrics != nil || cfg.Events != nil {
+		sim.observer = metrics.BridgeObserver(cfg.Metrics, cfg.Events, nil)
+	}
+	if cfg.Metrics != nil {
+		sim.ins = newClusterInstruments(cfg.Metrics)
 	}
 	sim.rebuildNearest()
 	sim.snapshotTunedTotals()
@@ -80,6 +87,11 @@ type sim struct {
 	population []*bitset.Set
 	// readCosts histograms the current epoch's per-read transfer costs.
 	readCosts *costHist
+	// observer bridges the monitor's solver progress into cfg.Metrics /
+	// cfg.Events; nil when telemetry is off. ins caches the epoch
+	// instruments of cfg.Metrics (nil likewise).
+	observer solver.Observer
+	ins      *clusterInstruments
 }
 
 func (s *sim) setPopulation(pop []*bitset.Set) { s.population = pop }
@@ -154,7 +166,56 @@ func (s *sim) runEpoch(epoch int) (*EpochStats, error) {
 	if dPrime > 0 {
 		stats.Savings = 100 * float64(dPrime-stats.ServeNTC-stats.MigrationNTC) / float64(dPrime)
 	}
+	s.record(stats)
 	return stats, nil
+}
+
+// record folds one finished epoch into the configured telemetry sinks. The
+// instruments observe only what the deterministic simulation already
+// computed, so counter/histogram snapshots are reproducible run to run
+// (AdaptTime is wall clock and goes to a *_seconds histogram, which the
+// determinism filter excludes).
+func (s *sim) record(stats *EpochStats) {
+	if ins := s.ins; ins != nil {
+		ins.epochs.Inc()
+		if stats.AdaptDegraded {
+			ins.degraded.Inc()
+		}
+		ins.reads.Add(stats.Reads)
+		ins.writes.Add(stats.Writes)
+		ins.failedReads.Add(stats.FailedReads)
+		ins.failedWrites.Add(stats.FailedWrites)
+		ins.serveRead.Add(stats.ReadNTC)
+		ins.serveWrite.Add(stats.WriteNTC)
+		ins.migrations.Add(int64(stats.Migrations))
+		ins.migrationNTC.Add(stats.MigrationNTC)
+		ins.changed.Add(int64(stats.Changed))
+		ins.adaptEvals.Add(int64(stats.AdaptEvaluations))
+		ins.adaptSeconds.Observe(stats.AdaptTime.Seconds())
+	}
+	if s.cfg.Events != nil {
+		s.cfg.Events.Emit("cluster.epoch", map[string]any{
+			"epoch":             stats.Epoch,
+			"reads":             stats.Reads,
+			"writes":            stats.Writes,
+			"failed_reads":      stats.FailedReads,
+			"failed_writes":     stats.FailedWrites,
+			"serve_ntc":         stats.ServeNTC,
+			"read_ntc":          stats.ReadNTC,
+			"write_ntc":         stats.WriteNTC,
+			"model_ntc":         stats.ModelNTC,
+			"migration_ntc":     stats.MigrationNTC,
+			"migrations":        stats.Migrations,
+			"mean_read_cost":    stats.MeanReadCost,
+			"read_cost_p95":     stats.ReadCostP95,
+			"savings_pct":       stats.Savings,
+			"changed":           stats.Changed,
+			"adapt_ms":          float64(stats.AdaptTime) / float64(time.Millisecond),
+			"adapt_evaluations": stats.AdaptEvaluations,
+			"adapt_stopped":     stats.AdaptStopped.String(),
+			"adapt_degraded":    stats.AdaptDegraded,
+		})
+	}
 }
 
 // adapt applies the configured monitor policy, migrating the scheme. When
@@ -166,7 +227,7 @@ func (s *sim) runEpoch(epoch int) (*EpochStats, error) {
 // the epoch's stats.
 func (s *sim) adapt(epoch int, stats *EpochStats) error {
 	start := time.Now()
-	run := solver.Run{Timeout: s.cfg.EpochTimeout, Budget: s.cfg.AdaptBudget}
+	run := solver.Run{Timeout: s.cfg.EpochTimeout, Budget: s.cfg.AdaptBudget, Observer: s.observer}
 	old := s.scheme
 	var next *core.Scheme
 	var pop []*bitset.Set
@@ -223,6 +284,9 @@ func (s *sim) adapt(epoch int, stats *EpochStats) error {
 	stats.AdaptTime = time.Since(start)
 	stats.AdaptEvaluations = st.Evaluations
 	stats.AdaptStopped = st.Stopped
+	if s.cfg.Metrics != nil || s.cfg.Events != nil {
+		metrics.RecordStats(s.cfg.Metrics, s.cfg.Policy.String(), st, s.cfg.Events)
+	}
 
 	if st.Stopped != solver.StopCompleted {
 		stats.AdaptDegraded = true
@@ -312,6 +376,7 @@ func (s *sim) serveRead(site, obj int, stats *EpochStats) {
 	stats.Reads++
 	cost := p.Size(obj) * dist
 	stats.ServeNTC += cost
+	stats.ReadNTC += cost
 	stats.MeanReadCost += float64(cost)
 	s.readCosts.add(cost)
 }
@@ -326,12 +391,16 @@ func (s *sim) serveWrite(site, obj int, stats *EpochStats) {
 		return
 	}
 	stats.Writes++
-	stats.ServeNTC += p.Size(obj) * p.Cost(site, sp)
+	ship := p.Size(obj) * p.Cost(site, sp)
+	stats.ServeNTC += ship
+	stats.WriteNTC += ship
 	for _, j := range s.scheme.Replicators(obj) {
 		if j == site || j == sp || s.down[j] {
 			continue
 		}
-		stats.ServeNTC += p.Size(obj) * p.Cost(sp, j)
+		bcast := p.Size(obj) * p.Cost(sp, j)
+		stats.ServeNTC += bcast
+		stats.WriteNTC += bcast
 	}
 }
 

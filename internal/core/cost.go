@@ -137,6 +137,62 @@ func (s *Scheme) ObjectCost(k int) int64 {
 	return e.ObjectCost(k, repl)
 }
 
+// CostTerms is eq. 4's D split into its three summands: the read traffic of
+// non-replicators to their nearest replica, the write traffic of
+// non-replicators shipping updates to the primary, and the update fan-in
+// every replicator receives from the primary. ReadNTC + WriteNTC +
+// UpdateNTC == D exactly.
+type CostTerms struct {
+	ReadNTC   int64 `json:"read_ntc"`
+	WriteNTC  int64 `json:"write_ntc"`
+	UpdateNTC int64 `json:"update_ntc"`
+}
+
+// Total returns the terms' sum, i.e. D.
+func (t CostTerms) Total() int64 { return t.ReadNTC + t.WriteNTC + t.UpdateNTC }
+
+// CostTerms returns the scheme's NTC broken into eq. 4's three terms — the
+// per-run manifest's cost decomposition.
+func (s *Scheme) CostTerms() CostTerms {
+	p := s.p
+	var t CostTerms
+	repl := make([]int32, 0, 8)
+	for k := 0; k < p.n; k++ {
+		repl = repl[:0]
+		for i := 0; i < p.m; i++ {
+			if s.Has(i, k) {
+				repl = append(repl, int32(i))
+			}
+		}
+		sp := p.primary[k]
+		ok := p.size[k]
+		wTot := p.totalWrites[k]
+		spRow := p.dist.Row(sp)
+		for i := 0; i < p.m; i++ {
+			row := p.dist.Row(i)
+			dmin := int64(-1)
+			for _, j := range repl {
+				if d := row[j]; dmin < 0 || d < dmin {
+					dmin = d
+					if d == 0 {
+						break
+					}
+				}
+			}
+			if dmin == 0 {
+				t.UpdateNTC += wTot * ok * spRow[i]
+			} else {
+				if dmin < 0 {
+					dmin = row[sp] // degenerate replica-free object: primary only
+				}
+				t.ReadNTC += p.reads[i*p.n+k] * ok * dmin
+				t.WriteNTC += p.writes[i*p.n+k] * ok * spRow[i]
+			}
+		}
+	}
+	return t
+}
+
 // Savings converts a cost into the paper's quality metric:
 // 100·(D_prime − D)/D_prime percent of the primaries-only NTC saved.
 func (p *Problem) Savings(cost int64) float64 {

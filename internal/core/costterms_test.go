@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"drp/internal/netsim"
+	"drp/internal/xrand"
+)
+
+// TestCostTermsSumEqualsCost pins the decomposition invariant: eq. 4's
+// three terms always add back to D, on the hand-checked fixture and on
+// randomized placements over a generated instance.
+func TestCostTermsSumEqualsCost(t *testing.T) {
+	p := fixture(t)
+	s := NewScheme(p)
+	checkTerms(t, s)
+	if err := s.Add(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkTerms(t, s)
+	if err := s.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	checkTerms(t, s)
+}
+
+func TestCostTermsPrimariesOnly(t *testing.T) {
+	p := fixture(t)
+	terms := NewScheme(p).CostTerms()
+	if terms.Total() != p.DPrime() {
+		t.Fatalf("primaries-only terms sum to %d, want D' = %d", terms.Total(), p.DPrime())
+	}
+	// With no extra replicas every non-primary site reads remotely and
+	// ships writes; only the primaries pay update fan-in.
+	if terms.ReadNTC == 0 || terms.WriteNTC == 0 {
+		t.Fatalf("degenerate decomposition: %+v", terms)
+	}
+}
+
+func TestCostTermsRandomizedSchemes(t *testing.T) {
+	p := randomTermProblem(t, 9, 14, 3)
+	rng := xrand.New(42)
+	for trial := 0; trial < 25; trial++ {
+		s := NewScheme(p)
+		for tries := 0; tries < 30; tries++ {
+			i, k := rng.Intn(p.Sites()), rng.Intn(p.Objects())
+			_ = s.Add(i, k) // capacity overflows just skip the replica
+		}
+		checkTerms(t, s)
+	}
+}
+
+func checkTerms(t *testing.T, s *Scheme) {
+	t.Helper()
+	terms := s.CostTerms()
+	if got, want := terms.Total(), s.Cost(); got != want {
+		t.Fatalf("CostTerms %+v sum to %d, Cost() = %d", terms, got, want)
+	}
+	if terms.ReadNTC < 0 || terms.WriteNTC < 0 || terms.UpdateNTC < 0 {
+		t.Fatalf("negative term: %+v", terms)
+	}
+}
+
+// randomTermProblem generates a small dense instance without importing the
+// workload package (which would cycle).
+func randomTermProblem(t *testing.T, m, n int, maxRate int64) *Problem {
+	t.Helper()
+	rng := xrand.New(7)
+	dm := netsim.NewDistMatrix(m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			dm.Set(i, j, 1+int64(rng.Intn(9)))
+		}
+	}
+	cfg := Config{
+		Sizes:      make([]int64, n),
+		Capacities: make([]int64, m),
+		Primaries:  make([]int, n),
+		Reads:      make([][]int64, m),
+		Writes:     make([][]int64, m),
+		Dist:       dm,
+	}
+	for k := 0; k < n; k++ {
+		cfg.Sizes[k] = 1 + int64(rng.Intn(4))
+		cfg.Primaries[k] = rng.Intn(m)
+	}
+	for i := 0; i < m; i++ {
+		cfg.Capacities[i] = 40
+		cfg.Reads[i] = make([]int64, n)
+		cfg.Writes[i] = make([]int64, n)
+		for k := 0; k < n; k++ {
+			cfg.Reads[i][k] = int64(rng.Intn(int(maxRate) + 1))
+			cfg.Writes[i][k] = int64(rng.Intn(int(maxRate) + 1))
+		}
+	}
+	p, err := NewProblem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLog is a structured JSONL sink: one JSON object per line, each
+// carrying a monotonic sequence number, the event name and the caller's
+// fields (keys sorted by encoding/json, so equal events marshal to equal
+// bytes). Emit is safe for concurrent use; lines are flushed as written so
+// a crashed run keeps everything emitted before the crash.
+//
+// Timestamps are optional and off by default: the solver runtime's
+// boundary-only discipline makes event *content* deterministic for
+// deterministic quantities, and omitting wall-clock stamps keeps single
+// -stream logs byte-comparable across runs. Call Timestamps(true) for
+// operational logs that need them.
+type EventLog struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	seq   int64
+	stamp bool
+	now   func() time.Time
+}
+
+// NewEventLog wraps w as a JSONL event sink.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: bufio.NewWriter(w), now: time.Now}
+}
+
+// Timestamps toggles an RFC3339Nano "ts" field on every event.
+func (l *EventLog) Timestamps(on bool) *EventLog {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stamp = on
+	return l
+}
+
+// Emit writes one event line. fields must be JSON-encodable; the reserved
+// keys "seq", "event" and "ts" are overwritten if supplied.
+func (l *EventLog) Emit(event string, fields map[string]any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	obj := make(map[string]any, len(fields)+3)
+	for k, v := range fields {
+		obj[k] = v
+	}
+	obj["seq"] = l.seq
+	obj["event"] = event
+	if l.stamp {
+		obj["ts"] = l.now().Format(time.RFC3339Nano)
+	}
+	data, err := json.Marshal(obj)
+	if err != nil {
+		// A non-encodable field is a programmer error; record it without
+		// losing the line.
+		data = []byte(`{"event":"metrics.encode_error","error":` + jsonString(err.Error()) + `}`)
+	}
+	l.w.Write(data)
+	l.w.WriteByte('\n')
+	l.w.Flush()
+}
+
+// Flush forces buffered lines out (Emit already flushes per line; Flush
+// exists for symmetry and future buffered modes).
+func (l *EventLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

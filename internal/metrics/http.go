@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes a registry over HTTP for live scraping:
+//
+//	/metrics      Prometheus text exposition
+//	/debug/vars   expvar JSON (the registry is published as "drp_metrics")
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// It binds its own mux, so importing this package never mutates
+// http.DefaultServeMux.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts a metrics server on addr ("127.0.0.1:0" picks an ephemeral
+// port; read it back with Addr).
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	reg.PublishExpvar("drp_metrics")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,179 @@
+package metrics_test
+
+// Integration tests for the telemetry layer against the real solvers and
+// simulators: the determinism contract (identical counter/histogram
+// snapshots at any worker count) and the HTTP exposition endpoint serving
+// the solver, cluster-epoch and netnode families together.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"drp/internal/agra"
+	"drp/internal/cluster"
+	"drp/internal/gra"
+	"drp/internal/metrics"
+	"drp/internal/netnode"
+	"drp/internal/solver"
+	"drp/internal/sra"
+	"drp/internal/workload"
+)
+
+// deterministicJSON renders the comparable part of a registry: counters and
+// histograms minus wall-clock series.
+func deterministicJSON(t *testing.T, reg *metrics.Registry) string {
+	t.Helper()
+	data, err := json.Marshal(reg.Snapshot().Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestInstrumentedGRASnapshotsIdenticalAcrossWorkers(t *testing.T) {
+	p, err := workload.Generate(workload.NewSpec(12, 24, 0.05, 0.2), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAt := func(par int) string {
+		reg := metrics.NewRegistry()
+		params := gra.DefaultParams()
+		params.PopSize = 16
+		params.Generations = 10
+		params.Seed = 3
+		params.Parallelism = par
+		res, err := gra.RunWith(p, params, solver.Run{Observer: metrics.BridgeObserver(reg, nil, nil)})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		metrics.RecordStats(reg, "gra", res.Stats, nil)
+		return deterministicJSON(t, reg)
+	}
+	serial := runAt(1)
+	if wide := runAt(8); wide != serial {
+		t.Fatalf("-par 8 deterministic snapshot diverged from -par 1:\npar8: %s\npar1: %s", wide, serial)
+	}
+	if !strings.Contains(serial, "drp_solver_iterations_total") {
+		t.Fatalf("snapshot missing solver instruments: %s", serial)
+	}
+}
+
+func TestInstrumentedClusterSnapshotsIdenticalAcrossWorkers(t *testing.T) {
+	p, err := workload.Generate(workload.NewSpec(8, 16, 0.05, 0.2), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := sra.Run(p, sra.Options{}).Scheme
+	runAt := func(par int) string {
+		reg := metrics.NewRegistry()
+		graParams := gra.DefaultParams()
+		graParams.PopSize = 10
+		graParams.Generations = 6
+		graParams.Parallelism = par
+		cfg := clusterConfig(par, graParams, reg)
+		if _, err := cluster.Run(p, initial, cfg); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return deterministicJSON(t, reg)
+	}
+	serial := runAt(1)
+	if wide := runAt(8); wide != serial {
+		t.Fatalf("-par 8 deterministic snapshot diverged from -par 1:\npar8: %s\npar1: %s", wide, serial)
+	}
+	for _, family := range []string{"drp_cluster_epochs_total", "drp_cluster_serve_ntc_total", "drp_solver_iterations_total"} {
+		if !strings.Contains(serial, family) {
+			t.Fatalf("snapshot missing %s: %s", family, serial)
+		}
+	}
+}
+
+func TestMetricsEndpointServesAllFamilies(t *testing.T) {
+	p, err := workload.Generate(workload.NewSpec(6, 10, 0.05, 0.2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	metrics.RegisterSolverFamilies(reg, "agra+mini")
+	cluster.RegisterMetricFamilies(reg)
+	netnode.RegisterMetricFamilies(reg)
+
+	// Drive all three layers into the shared registry: a cluster simulation
+	// (epoch + solver families) and real TCP traffic (netnode families).
+	initial := sra.Run(p, sra.Options{}).Scheme
+	graParams := gra.DefaultParams()
+	graParams.PopSize = 8
+	graParams.Generations = 4
+	if _, err := cluster.Run(p, initial, clusterConfig(1, graParams, reg)); err != nil {
+		t.Fatal(err)
+	}
+	net, err := netnode.StartLocal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	net.EnableMetrics(reg)
+	if _, err := net.DriveTraffic(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := metrics.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body := httpGet(t, "http://"+srv.Addr()+"/metrics")
+	for _, family := range []string{
+		"drp_solver_iterations_total", "drp_solver_runs_total",
+		"drp_cluster_epochs_total", "drp_cluster_serve_ntc_total", "drp_cluster_adapt_seconds_bucket",
+		"drp_net_request_seconds_bucket", "drp_net_replica_reads_total", "drp_net_messages_total",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	if !strings.Contains(body, "# TYPE drp_cluster_epochs_total counter") {
+		t.Errorf("/metrics missing TYPE metadata:\n%.2000s", body)
+	}
+
+	vars := httpGet(t, "http://"+srv.Addr()+"/debug/vars")
+	if !strings.Contains(vars, "drp_metrics") {
+		t.Errorf("/debug/vars missing published registry")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	return string(body)
+}
+
+// clusterConfig builds a small adaptive simulation wired to reg.
+func clusterConfig(par int, graParams gra.Params, reg *metrics.Registry) cluster.Config {
+	agraParams := agra.DefaultParams()
+	agraParams.Parallelism = par
+	return cluster.Config{
+		Epochs:     3,
+		Policy:     cluster.PolicyAGRAMini,
+		Drift:      &workload.ChangeSpec{Ch: 6, ObjectShare: 0.3, ReadShare: 0.5},
+		Threshold:  2.0,
+		GRAParams:  graParams,
+		AGRAParams: agraParams,
+		Seed:       1,
+		Metrics:    reg,
+	}
+}

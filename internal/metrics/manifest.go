@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest makes a run self-describing and diffable: which tool ran with
+// which flags and seed, on which git revision and Go toolchain, for how
+// long, over which instance, and what it produced (final D, its eq. 4 term
+// breakdown, solver accounting). Experiments archived next to their
+// manifest can be compared across PRs without re-deriving the context.
+type Manifest struct {
+	Tool string   `json:"tool"`
+	Args []string `json:"args,omitempty"`
+	Seed uint64   `json:"seed,omitempty"`
+
+	GitRevision string `json:"git_revision,omitempty"`
+	GitDirty    bool   `json:"git_dirty,omitempty"`
+	GoVersion   string `json:"go_version"`
+	OS          string `json:"os"`
+	Arch        string `json:"arch"`
+
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+
+	// Problem dimensions, when the run solves one instance.
+	Sites   int `json:"sites,omitempty"`
+	Objects int `json:"objects,omitempty"`
+
+	// Result quality, when the run produces one scheme. Terms is eq. 4's
+	// breakdown of FinalD: reads served by non-replicators, their write
+	// shipping, and the replicators' update fan-in.
+	Algorithm  string           `json:"algorithm,omitempty"`
+	FinalD     int64            `json:"final_d,omitempty"`
+	DPrime     int64            `json:"d_prime,omitempty"`
+	SavingsPct float64          `json:"savings_pct,omitempty"`
+	Terms      map[string]int64 `json:"eq4_terms,omitempty"`
+
+	// Solver accounting, when a solver ran.
+	Evaluations int    `json:"evaluations,omitempty"`
+	Iterations  int    `json:"iterations,omitempty"`
+	Stopped     string `json:"stopped,omitempty"`
+
+	// Extra carries tool-specific facts (figure ids, epoch counts, ...).
+	Extra map[string]any `json:"extra,omitempty"`
+}
+
+// NewManifest starts a manifest for tool, stamping the start time, the
+// toolchain and the VCS revision baked into the binary (present when built
+// from a git checkout with module info; empty under plain `go test`).
+func NewManifest(tool string, args []string) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Args:      args,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Start:     time.Now(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRevision = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// Write stamps the end time and writes the manifest to path as indented
+// JSON.
+func (m *Manifest) Write(path string) error {
+	m.End = time.Now()
+	m.ElapsedMS = float64(m.End.Sub(m.Start)) / float64(time.Millisecond)
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

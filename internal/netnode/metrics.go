@@ -1,0 +1,97 @@
+package netnode
+
+import (
+	"time"
+
+	"drp/internal/metrics"
+)
+
+// nodeMetrics caches the instrument handles one node records into. All
+// nodes of a cluster share one registry, so the drp_net_* families
+// aggregate across sites (per-site series would multiply cardinality for
+// no operational value on a single host).
+type nodeMetrics struct {
+	reg *metrics.Registry
+
+	readSeconds   *metrics.Histogram
+	writeSeconds  *metrics.Histogram
+	readsLocal    *metrics.Counter
+	readsRemote   *metrics.Counter
+	writesPrimary *metrics.Counter
+	writesRemote  *metrics.Counter
+	ntcRead       *metrics.Counter
+	ntcWrite      *metrics.Counter
+}
+
+func newNodeMetrics(reg *metrics.Registry) *nodeMetrics {
+	latency := metrics.LatencyBuckets()
+	return &nodeMetrics{
+		reg:           reg,
+		readSeconds:   reg.Histogram("drp_net_request_seconds", "Client-observed request latency over the wire.", latency, metrics.Labels{"op": "read"}),
+		writeSeconds:  reg.Histogram("drp_net_request_seconds", "Client-observed request latency over the wire.", latency, metrics.Labels{"op": "write"}),
+		readsLocal:    reg.Counter("drp_net_replica_reads_total", "Reads by serving replica location.", metrics.Labels{"source": "local"}),
+		readsRemote:   reg.Counter("drp_net_replica_reads_total", "Reads by serving replica location.", metrics.Labels{"source": "remote"}),
+		writesPrimary: reg.Counter("drp_net_writes_total", "Writes by the writer's role for the object.", metrics.Labels{"role": "primary"}),
+		writesRemote:  reg.Counter("drp_net_writes_total", "Writes by the writer's role for the object.", metrics.Labels{"role": "remote"}),
+		ntcRead:       reg.Counter("drp_net_ntc_total", "Transfer cost accounted to client requests.", metrics.Labels{"op": "read"}),
+		ntcWrite:      reg.Counter("drp_net_ntc_total", "Transfer cost accounted to client requests.", metrics.Labels{"op": "write"}),
+	}
+}
+
+// message op → served-message counter; get-or-create per message is one
+// mutex-guarded map lookup, noise next to a loopback round trip.
+func (nm *nodeMetrics) served(op string) {
+	nm.reg.Counter("drp_net_messages_total", "Wire protocol messages served, by op.", metrics.Labels{"op": op}).Inc()
+}
+
+// RegisterMetricFamilies pre-creates the drp_net_* families in reg at zero,
+// for endpoints that must expose the full surface before any traffic.
+func RegisterMetricFamilies(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	nm := newNodeMetrics(reg)
+	for _, op := range []string{"read", "update", "sync", "place", "drop", "version", "registry", "nearest"} {
+		nm.reg.Counter("drp_net_messages_total", "Wire protocol messages served, by op.", metrics.Labels{"op": op})
+	}
+}
+
+func (nm *nodeMetrics) read(local bool, cost int64, elapsed time.Duration) {
+	if local {
+		nm.readsLocal.Inc()
+	} else {
+		nm.readsRemote.Inc()
+	}
+	nm.ntcRead.Add(cost)
+	nm.readSeconds.Observe(elapsed.Seconds())
+}
+
+func (nm *nodeMetrics) write(primary bool, cost int64, elapsed time.Duration) {
+	if primary {
+		nm.writesPrimary.Inc()
+	} else {
+		nm.writesRemote.Inc()
+	}
+	nm.ntcWrite.Add(cost)
+	nm.writeSeconds.Observe(elapsed.Seconds())
+}
+
+// SetMetrics attaches a registry to the node: client-side Read/Write
+// latency histograms, replica-hit and NTC counters, and server-side
+// message counters. Call before driving traffic; nil detaches.
+func (n *Node) SetMetrics(reg *metrics.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reg == nil {
+		n.metrics = nil
+		return
+	}
+	n.metrics = newNodeMetrics(reg)
+}
+
+// EnableMetrics attaches one shared registry to every node of the cluster.
+func (c *Cluster) EnableMetrics(reg *metrics.Registry) {
+	for _, node := range c.nodes {
+		node.SetMetrics(reg)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"drp/internal/core"
 )
@@ -58,7 +59,8 @@ type Node struct {
 	nearest  []int         // SN_k(site): where this site sends reads for k
 	registry [][]int       // for objects primaried here: the replicator list
 	peers    []string
-	ntc      int64 // transfer cost charged to this node's activities
+	ntc      int64        // transfer cost charged to this node's activities
+	metrics  *nodeMetrics // telemetry instruments; nil when disabled
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -182,6 +184,12 @@ func (n *Node) serve(conn net.Conn) {
 }
 
 func (n *Node) handle(msg message) reply {
+	n.mu.Lock()
+	nm := n.metrics
+	n.mu.Unlock()
+	if nm != nil {
+		nm.served(msg.Op)
+	}
 	if msg.Object < 0 || msg.Object >= n.p.Objects() {
 		return reply{Err: fmt.Sprintf("object %d out of range", msg.Object)}
 	}
@@ -311,12 +319,17 @@ func (n *Node) broadcast(obj, writer int, version int64) (int64, error) {
 // is held, otherwise fetched from the recorded nearest replica over TCP.
 // Returns the transfer cost incurred.
 func (n *Node) Read(obj int) (int64, error) {
+	start := time.Now()
 	n.mu.Lock()
 	local := n.holds[obj]
 	target := n.nearest[obj]
 	peers := n.peers
+	nm := n.metrics
 	n.mu.Unlock()
 	if local {
+		if nm != nil {
+			nm.read(true, 0, time.Since(start))
+		}
 		return 0, nil
 	}
 	if target < 0 || target >= len(peers) {
@@ -333,6 +346,9 @@ func (n *Node) Read(obj int) (int64, error) {
 	n.mu.Lock()
 	n.ntc += cost
 	n.mu.Unlock()
+	if nm != nil {
+		nm.read(false, cost, time.Since(start))
+	}
 	return cost, nil
 }
 
@@ -340,6 +356,10 @@ func (n *Node) Read(obj int) (int64, error) {
 // the primary, which broadcasts it to the other replicators. Returns the
 // total transfer cost (shipping plus broadcast).
 func (n *Node) Write(obj int) (int64, error) {
+	start := time.Now()
+	n.mu.Lock()
+	nm := n.metrics
+	n.mu.Unlock()
 	sp := n.p.Primary(obj)
 	var cost int64
 	if sp == n.site {
@@ -379,6 +399,9 @@ func (n *Node) Write(obj int) (int64, error) {
 	n.mu.Lock()
 	n.ntc += cost
 	n.mu.Unlock()
+	if nm != nil {
+		nm.write(sp == n.site, cost, time.Since(start))
+	}
 	return cost, nil
 }
 

@@ -104,10 +104,16 @@ type ObserverFunc func(Progress)
 func (f ObserverFunc) Progress(p Progress) { f(p) }
 
 // Synchronized wraps an observer with a mutex so concurrent emitters (the
-// AGRA fan-out) serialise their events. A nil observer stays nil.
+// AGRA fan-out) serialise their events. A nil observer stays nil, and an
+// already-synchronized observer is returned as is — composed layers that
+// each defensively synchronize (a CLI wrapping a bridge wrapping a sink)
+// share one lock instead of stacking them.
 func Synchronized(o Observer) Observer {
 	if o == nil {
 		return nil
+	}
+	if l, ok := o.(*lockedObserver); ok {
+		return l
 	}
 	return &lockedObserver{o: o}
 }

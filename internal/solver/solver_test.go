@@ -166,6 +166,25 @@ func TestSynchronized(t *testing.T) {
 	}
 }
 
+func TestSynchronizedIdempotent(t *testing.T) {
+	// Re-synchronizing must return the SAME wrapper, not stack a second
+	// mutex — composed bridges each defensively call Synchronized.
+	n := 0
+	once := Synchronized(ObserverFunc(func(Progress) { n++ }))
+	twice := Synchronized(once)
+	if twice != once {
+		t.Fatalf("Synchronized(Synchronized(o)) = %p, want the original wrapper %p", twice, once)
+	}
+	thrice := Synchronized(twice)
+	if thrice != once {
+		t.Fatal("triple synchronization allocated a new wrapper")
+	}
+	twice.Progress(Progress{})
+	if n != 1 {
+		t.Fatalf("observer called %d times, want 1", n)
+	}
+}
+
 func TestStopReasonStrings(t *testing.T) {
 	want := map[StopReason]string{
 		StopCompleted: "completed", StopCancelled: "cancelled",
