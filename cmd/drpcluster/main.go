@@ -7,6 +7,7 @@
 //
 //	drpcluster -sites 20 -objects 60 -epochs 6 -policy agra+mini -drift 0.2
 //	drpcluster -policy none -fail-site 3 -fail-from 2 -fail-to 4
+//	drpcluster -fault-plan plan.json    # crash events become epoch outages
 //
 // It prints one row per epoch: measured serving cost versus the analytic
 // model, migrations, failures and savings, then a one-line summary.
@@ -27,6 +28,7 @@ import (
 
 	"drp/internal/agra"
 	"drp/internal/cluster"
+	"drp/internal/fault"
 	"drp/internal/gra"
 	"drp/internal/metrics"
 	"drp/internal/netnode"
@@ -44,22 +46,23 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("drpcluster", flag.ContinueOnError)
 	var (
-		sites    = fs.Int("sites", 20, "number of sites")
-		objects  = fs.Int("objects", 60, "number of objects")
-		update   = fs.Float64("update", 0.05, "update ratio U")
-		capacity = fs.Float64("capacity", 0.15, "capacity ratio C")
-		epochs   = fs.Int("epochs", 6, "measurement periods to simulate")
-		policy   = fs.String("policy", "agra+mini", "monitor policy: none | sra | agra | agra+mini | gra")
-		drift    = fs.Float64("drift", 0.2, "share of objects changing pattern each epoch (0 disables)")
-		driftCh  = fs.Float64("drift-ch", 6.0, "pattern change magnitude (6.0 = +600%)")
-		driftR   = fs.Float64("drift-reads", 0.5, "share of drifting objects whose reads (vs updates) grow")
-		seed     = fs.Uint64("seed", 1, "simulation seed")
-		adaptTO  = fs.Duration("adapt-timeout", 0, "wall-clock cap per epoch re-optimisation; a missed deadline keeps the current scheme (0 = none)")
-		adaptBud = fs.Int("adapt-budget", 0, "cost-model evaluation cap per epoch re-optimisation (0 = none)")
-		failSite = fs.Int("fail-site", -1, "site to take offline (-1 disables)")
-		failFrom = fs.Int("fail-from", 0, "first failed epoch")
-		failTo   = fs.Int("fail-to", 0, "one past the last failed epoch")
-		compare  = fs.Bool("compare", false, "run every policy on identical traffic and print a comparison table")
+		sites     = fs.Int("sites", 20, "number of sites")
+		objects   = fs.Int("objects", 60, "number of objects")
+		update    = fs.Float64("update", 0.05, "update ratio U")
+		capacity  = fs.Float64("capacity", 0.15, "capacity ratio C")
+		epochs    = fs.Int("epochs", 6, "measurement periods to simulate")
+		policy    = fs.String("policy", "agra+mini", "monitor policy: none | sra | agra | agra+mini | gra")
+		drift     = fs.Float64("drift", 0.2, "share of objects changing pattern each epoch (0 disables)")
+		driftCh   = fs.Float64("drift-ch", 6.0, "pattern change magnitude (6.0 = +600%)")
+		driftR    = fs.Float64("drift-reads", 0.5, "share of drifting objects whose reads (vs updates) grow")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+		adaptTO   = fs.Duration("adapt-timeout", 0, "wall-clock cap per epoch re-optimisation; a missed deadline keeps the current scheme (0 = none)")
+		adaptBud  = fs.Int("adapt-budget", 0, "cost-model evaluation cap per epoch re-optimisation (0 = none)")
+		failSite  = fs.Int("fail-site", -1, "site to take offline (-1 disables)")
+		failFrom  = fs.Int("fail-from", 0, "first failed epoch")
+		failTo    = fs.Int("fail-to", 0, "one past the last failed epoch")
+		faultPlan = fs.String("fault-plan", "", "derive site outages from this fault plan JSON (crash events map to epoch windows; other kinds are wire-level and ignored here)")
+		compare   = fs.Bool("compare", false, "run every policy on identical traffic and print a comparison table")
 
 		listenMetrics = fs.String("listen-metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
 		serveFor      = fs.Duration("serve-for", 0, "keep the metrics endpoint up this long after the run (0 = exit immediately)")
@@ -106,6 +109,31 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *failSite >= 0 {
 		cfg.Failures = []cluster.Failure{{Site: *failSite, From: *failFrom, To: *failTo}}
+	}
+	if *faultPlan != "" {
+		plan, err := fault.LoadPlan(*faultPlan, p.Sites())
+		if err != nil {
+			return err
+		}
+		// The epoch simulator's unit of time is the epoch, not the request
+		// step, so crash windows translate directly: [Step, Until) epochs.
+		// An open-ended crash (Until 0) lasts to the end of the run unless a
+		// restart event closes it.
+		for _, e := range plan.Events {
+			if e.Kind != fault.KindCrash {
+				continue
+			}
+			to := int(e.Until)
+			if to == 0 {
+				to = *epochs
+				for _, r := range plan.Events {
+					if r.Kind == fault.KindRestart && r.Site == e.Site && r.Step >= e.Step && int(r.Step) < to {
+						to = int(r.Step)
+					}
+				}
+			}
+			cfg.Failures = append(cfg.Failures, cluster.Failure{Site: e.Site, From: int(e.Step), To: to})
+		}
 	}
 
 	var reg *metrics.Registry

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -189,5 +190,55 @@ func TestClusterCompareMode(t *testing.T) {
 		if !strings.Contains(out.String(), policy) {
 			t.Fatalf("comparison missing policy %s:\n%s", policy, out.String())
 		}
+	}
+}
+
+func TestClusterFaultPlanMapsCrashesToEpochOutages(t *testing.T) {
+	plan := `{"seed":1,"events":[
+		{"kind":"crash","site":0,"step":1,"until":2},
+		{"kind":"crash","site":2,"step":0},
+		{"kind":"restart","site":2,"step":1},
+		{"kind":"latency","site":1,"step":0,"until":2,"delay_ms":5}
+	]}`
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-sites", "6", "-objects", "8", "-epochs", "2", "-policy", "none",
+		"-drift", "0", "-fault-plan", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crash windows must surface as failed requests: site 0 is down in
+	// epoch 1 and site 2 in epoch 0 (its restart at step 1 closes the
+	// open-ended crash), so both epoch rows end with a nonzero failure count.
+	rows := regexp.MustCompile(`(?m)^\s+(\d+)\s+.*?(\d+)\s*$`).FindAllStringSubmatch(out.String(), -1)
+	var totalFailures int64
+	for _, row := range rows {
+		n, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable failures column %q", row[2])
+		}
+		totalFailures += n
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 epoch rows, got %d:\n%s", len(rows), out.String())
+	}
+	if totalFailures == 0 {
+		t.Fatalf("fault plan crashes produced no failed requests:\n%s", out.String())
+	}
+}
+
+func TestClusterFaultPlanRejectsBadPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed":1,"events":[{"kind":"crash","site":77,"step":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-sites", "4", "-objects", "6", "-epochs", "1", "-policy", "none", "-drift", "0", "-fault-plan", path}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("out-of-range fault plan accepted")
 	}
 }

@@ -8,6 +8,13 @@
 //
 //	drpnet -sites 10 -objects 20                  # generate and run
 //	drpnet -in problem.json -algo gra -gens 30    # optimise then serve
+//	drpnet -fault-plan plan.json -retry 3 -req-timeout 2s   # chaos run
+//
+// With -fault-plan the measurement period is served under injected faults
+// (site crashes, link blackholes, latency spikes, message drops — see
+// internal/fault): degraded requests are reported instead of aborting the
+// run, and afterwards queued writes are flushed and stale replicas
+// reconciled.
 //
 // Observability: -listen-metrics serves the nodes' shared drp_net_* request
 // instruments (latency histograms, replica-hit and NTC counters) as
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"drp"
+	"drp/internal/fault"
 	"drp/internal/metrics"
 	"drp/internal/netnode"
 )
@@ -49,6 +57,10 @@ func run(args []string, stdout io.Writer) error {
 
 		listenMetrics = fs.String("listen-metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
 		serveFor      = fs.Duration("serve-for", 0, "keep the metrics endpoint up this long after the run (0 = exit immediately)")
+
+		faultPlan  = fs.String("fault-plan", "", "inject faults from this plan JSON (see internal/fault); degraded requests are reported, then queued writes flush and stale replicas reconcile")
+		retries    = fs.Int("retry", 1, "transport attempts per request (1 = no retrying)")
+		reqTimeout = fs.Duration("req-timeout", 0, "per-request deadline for dial plus round trip (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +110,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	defer cluster.Close()
 
+	if *retries > 1 {
+		rp := netnode.DefaultRetry()
+		rp.Attempts = *retries
+		cluster.SetRetry(rp)
+	}
+	if *reqTimeout > 0 {
+		cluster.SetRequestTimeout(*reqTimeout)
+	}
+
 	if *listenMetrics != "" {
 		reg := metrics.NewRegistry()
 		netnode.RegisterMetricFamilies(reg)
@@ -123,6 +144,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "deployed %s scheme: %d replicas, migration cost %d\n",
 		*algo, scheme.TotalReplicas(), migration)
 
+	if *faultPlan != "" {
+		return runFaulted(cluster, p, scheme, *faultPlan, stdout)
+	}
+
 	total, err := cluster.DriveTraffic()
 	if err != nil {
 		return err
@@ -136,6 +161,52 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "  model and wire agree exactly ✓")
 	} else {
 		fmt.Fprintln(stdout, "  WARNING: model and wire disagree")
+	}
+	return nil
+}
+
+// runFaulted serves the measurement period under an injected fault plan,
+// then recovers: queued writes flush and stale replicas reconcile once the
+// logical clock has passed the last fault window.
+func runFaulted(cluster *netnode.Cluster, p *drp.Problem, scheme *drp.Scheme, planPath string, stdout io.Writer) error {
+	plan, err := fault.LoadPlan(planPath, p.Sites())
+	if err != nil {
+		return err
+	}
+	in := fault.NewInjector(plan)
+	fault.Attach(cluster, in)
+	fmt.Fprintf(stdout, "injecting %d fault events (seed %d)\n", len(plan.Events), plan.Seed)
+
+	rep, err := cluster.DriveTrafficReport()
+	if err != nil {
+		return err
+	}
+	dials, refused, severed, dropped, delayed := in.Stats()
+	fmt.Fprintf(stdout, "served one measurement period over TCP under faults:\n")
+	fmt.Fprintf(stdout, "  accounted transfer cost: %d (eq.4 fault-free prediction: %d)\n", rep.NTC, scheme.Cost())
+	fmt.Fprintf(stdout, "  reads served/failed:     %d/%d\n", rep.Reads, rep.FailedReads)
+	fmt.Fprintf(stdout, "  writes served/queued:    %d/%d\n", rep.Writes, rep.QueuedWrites)
+	fmt.Fprintf(stdout, "  dials: %d (refused %d, severed %d, dropped %d, delayed %d)\n",
+		dials, refused, severed, dropped, delayed)
+
+	// Recovery: move the clock past the last scheduled fault, replay the
+	// queued writes and re-sync the replicas that missed a broadcast.
+	in.AdvanceTo(plan.MaxStep())
+	flushNTC, err := cluster.FlushPending()
+	if err != nil {
+		return err
+	}
+	recNTC, remaining, err := cluster.Reconcile()
+	if err != nil {
+		return fmt.Errorf("reconcile (are open-ended faults still active?): %w", err)
+	}
+	fmt.Fprintf(stdout, "recovery after the last fault window:\n")
+	fmt.Fprintf(stdout, "  flushed queued writes:   cost %d (%d still queued)\n", flushNTC, cluster.PendingWrites())
+	fmt.Fprintf(stdout, "  reconciled replicas:     cost %d (%d still stale)\n", recNTC, remaining)
+	if cluster.PendingWrites() == 0 && remaining == 0 {
+		fmt.Fprintln(stdout, "  cluster fully reconverged ✓")
+	} else {
+		fmt.Fprintln(stdout, "  WARNING: cluster did not fully reconverge")
 	}
 	return nil
 }

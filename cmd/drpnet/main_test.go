@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -45,5 +47,42 @@ func TestNetRunBadAlgo(t *testing.T) {
 func TestNetRunMissingInput(t *testing.T) {
 	if err := run([]string{"-in", "/does/not/exist"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("missing input accepted")
+	}
+}
+
+func TestNetRunFaultPlan(t *testing.T) {
+	plan := `{"seed":1,"events":[
+		{"kind":"crash","site":1,"step":1,"until":20},
+		{"kind":"latency","site":2,"step":1,"until":10,"delay_ms":1}
+	]}`
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-sites", "5", "-objects", "8",
+		"-fault-plan", path, "-retry", "3", "-req-timeout", "2s"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"injecting 2 fault events",
+		"reads served/failed",
+		"writes served/queued",
+		"cluster fully reconverged",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNetRunFaultPlanRejectsBadPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed":1,"events":[{"kind":"crash","site":99,"step":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sites", "4", "-objects", "6", "-fault-plan", path}, &bytes.Buffer{}); err == nil {
+		t.Fatal("out-of-range fault plan accepted")
 	}
 }

@@ -1,0 +1,25 @@
+package fault
+
+import (
+	"drp/internal/netnode"
+)
+
+// Attach wires an injector into a running netnode cluster: every node's
+// outbound dials and the coordinator's commands go through the injector,
+// and the traffic driver advances the injector's logical clock once per
+// request. The cluster's addresses are registered so link-level faults
+// can attribute both endpoints.
+//
+// Attach only installs middleware — retry policy and per-request timeouts
+// stay the cluster's to configure (netnode.Cluster.SetRetry /
+// SetRequestTimeout).
+func Attach(c *netnode.Cluster, in *Injector) {
+	for i := 0; i < c.Sites(); i++ {
+		in.Register(i, c.Node(i).Addr())
+	}
+	for i := 0; i < c.Sites(); i++ {
+		c.Node(i).SetDialer(in.DialerFor(i))
+	}
+	c.SetCommandDialer(in.DialerFor(Coordinator))
+	c.SetRequestHook(in.Advance)
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"drp/internal/xrand"
+)
+
+// Injector realises a Plan as dialer middleware. One injector is shared
+// by every node of a cluster (and the coordinator); each participant gets
+// its own dialer from DialerFor so link-level faults know both endpoints.
+//
+// The injector holds a logical step clock, advanced by the traffic driver
+// once per request (Advance). All fault decisions are pure functions of
+// (plan, step) except probabilistic drops, which consume the plan-seeded
+// RNG in dial order — deterministic under the serial traffic the chaos
+// tests drive.
+type Injector struct {
+	plan Plan
+
+	mu       sync.Mutex
+	step     int64
+	rng      *xrand.Source
+	addrSite map[string]int
+
+	// DialTimeout bounds the underlying real dial (default 2s).
+	DialTimeout time.Duration
+
+	// Fault outcome counters, for assertions and CLI summaries.
+	dials, refused, severed, dropped, delayed int64
+}
+
+// NewInjector builds an injector for the plan.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{
+		plan:        plan,
+		rng:         xrand.New(plan.Seed),
+		addrSite:    make(map[string]int),
+		DialTimeout: 2 * time.Second,
+	}
+}
+
+// Plan returns the injector's fault plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Register maps a peer address to its site index so dials can be
+// attributed to links.
+func (in *Injector) Register(site int, addr string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.addrSite[addr] = site
+}
+
+// Advance moves the logical clock one step and returns the new step.
+func (in *Injector) Advance() {
+	in.mu.Lock()
+	in.step++
+	in.mu.Unlock()
+}
+
+// AdvanceTo fast-forwards the clock to at least step (used to move past
+// the last fault window before recovery runs).
+func (in *Injector) AdvanceTo(step int64) {
+	in.mu.Lock()
+	if step > in.step {
+		in.step = step
+	}
+	in.mu.Unlock()
+}
+
+// Step returns the current logical step.
+func (in *Injector) Step() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.step
+}
+
+// Stats reports the injector's fault outcome counts: total dials seen,
+// dials refused because an endpoint was crashed, severed by a blackhole,
+// dropped probabilistically, and delayed by latency spikes.
+func (in *Injector) Stats() (dials, refused, severed, dropped, delayed int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dials, in.refused, in.severed, in.dropped, in.delayed
+}
+
+// faultError is the transport error the injector synthesises; it mimics a
+// net.OpError so retry classification treats it like a real dial failure.
+type faultError struct {
+	msg string
+}
+
+func (e *faultError) Error() string   { return e.msg }
+func (e *faultError) Timeout() bool   { return false }
+func (e *faultError) Temporary() bool { return true }
+
+// DialerFor returns the dialer for one participant: a site index, or
+// Coordinator for the cluster coordinator. The returned function is safe
+// for concurrent use.
+func (in *Injector) DialerFor(client int) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		in.mu.Lock()
+		step := in.step
+		target, known := in.addrSite[addr]
+		in.dials++
+		var verdict error
+		var delay time.Duration
+		if !known {
+			target = Coordinator // unknown address: only client-side faults apply
+		}
+		switch {
+		case client >= 0 && in.plan.Crashed(client, step):
+			in.refused++
+			verdict = &faultError{fmt.Sprintf("fault: site %d is down (step %d)", client, step)}
+		case known && in.plan.Crashed(target, step):
+			in.refused++
+			verdict = &faultError{fmt.Sprintf("fault: dial %s: site %d is down (step %d)", addr, target, step)}
+		case in.plan.Blackholed(client, target, step):
+			in.severed++
+			verdict = &faultError{fmt.Sprintf("fault: link %d↔%d blackholed (step %d)", client, target, step)}
+		default:
+			if p := in.plan.DropProb(client, target, step); p > 0 && in.rng.Float64() < p {
+				in.dropped++
+				verdict = &faultError{fmt.Sprintf("fault: message %d→%d dropped (step %d)", client, target, step)}
+			} else {
+				delay = in.plan.LatencyAt(client, target, step)
+				if delay > 0 {
+					in.delayed++
+				}
+			}
+		}
+		timeout := in.DialTimeout
+		in.mu.Unlock()
+
+		if verdict != nil {
+			return nil, verdict
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+}

@@ -1,0 +1,341 @@
+// Package fault injects deterministic, seed-driven failures into the TCP
+// replication cluster of drp/internal/netnode without the node code
+// changing: the injector is dialer middleware, so the happy path is the
+// plain TCP dial and every fault is an error or delay a real network
+// would produce.
+//
+// A Plan is a list of events — site crash/restart windows, link
+// blackholes, latency spikes, probabilistic message drops — pinned to a
+// logical step clock that the traffic driver advances once per request
+// (netnode's SetRequestHook). Whether a given dial succeeds is a pure
+// function of the plan and the current step (drops additionally consume a
+// seeded RNG in dial order), so a seeded plan replays bit-identically and
+// the surviving-replica transfer cost is computable a priori; the chaos
+// tests assert it exactly.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Kind enumerates fault event types.
+type Kind string
+
+// Fault event kinds.
+const (
+	// KindCrash takes a site down for the window: every dial to it, and
+	// every dial it originates, fails.
+	KindCrash Kind = "crash"
+	// KindRestart brings a site back up, ending any crash window covering
+	// the restart step (an alternative to setting Until on the crash).
+	KindRestart Kind = "restart"
+	// KindBlackhole drops all traffic between Site and Peer, both
+	// directions, for the window.
+	KindBlackhole Kind = "blackhole"
+	// KindLatency delays connection establishment involving Site by
+	// DelayMS for the window.
+	KindLatency Kind = "latency"
+	// KindDrop makes dials involving Site (or the Site↔Peer link when
+	// Peer ≥ 0) fail with probability Prob during the window, driven by
+	// the plan's seeded RNG.
+	KindDrop Kind = "drop"
+)
+
+// Coordinator is the pseudo-site index of the cluster coordinator for
+// link-level events (it originates deploy/reconcile commands but serves
+// no traffic and cannot crash).
+const Coordinator = -1
+
+// Event is one scheduled fault. Step/Until delimit the half-open logical
+// window [Step, Until); Until == 0 means "until cancelled" (for crashes, a
+// later restart) or forever.
+type Event struct {
+	Kind  Kind  `json:"kind"`
+	Site  int   `json:"site"`
+	Peer  int   `json:"peer,omitempty"`
+	Step  int64 `json:"step"`
+	Until int64 `json:"until,omitempty"`
+	// DelayMS is the latency-spike magnitude in milliseconds.
+	DelayMS int64 `json:"delay_ms,omitempty"`
+	// Prob is the per-dial drop probability in [0,1].
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// Delay returns the latency-spike magnitude as a duration.
+func (e Event) Delay() time.Duration { return time.Duration(e.DelayMS) * time.Millisecond }
+
+// active reports whether the event's window covers step.
+func (e Event) active(step int64) bool {
+	return step >= e.Step && (e.Until == 0 || step < e.Until)
+}
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	// Seed drives the drop-event RNG; plans with the same seed replay
+	// bit-identically under serial traffic.
+	Seed uint64 `json:"seed"`
+	// Events is the fault schedule.
+	Events []Event `json:"events"`
+}
+
+// Validate checks the plan against a cluster of m sites.
+func (p *Plan) Validate(m int) error {
+	for i, e := range p.Events {
+		prefix := fmt.Sprintf("fault: event %d (%s)", i, e.Kind)
+		if e.Step < 0 || e.Until < 0 {
+			return fmt.Errorf("%s: negative step window [%d,%d)", prefix, e.Step, e.Until)
+		}
+		if e.Until != 0 && e.Until <= e.Step {
+			return fmt.Errorf("%s: empty step window [%d,%d)", prefix, e.Step, e.Until)
+		}
+		switch e.Kind {
+		case KindCrash, KindRestart, KindLatency:
+			if e.Site < 0 || e.Site >= m {
+				return fmt.Errorf("%s: site %d out of range [0,%d)", prefix, e.Site, m)
+			}
+		case KindBlackhole:
+			if e.Site < Coordinator || e.Site >= m || e.Peer < Coordinator || e.Peer >= m {
+				return fmt.Errorf("%s: endpoints %d↔%d out of range", prefix, e.Site, e.Peer)
+			}
+			if e.Site == e.Peer {
+				return fmt.Errorf("%s: blackhole needs two distinct endpoints, got %d", prefix, e.Site)
+			}
+		case KindDrop:
+			if e.Site < 0 || e.Site >= m {
+				return fmt.Errorf("%s: site %d out of range [0,%d)", prefix, e.Site, m)
+			}
+			if e.Peer < Coordinator || e.Peer >= m {
+				return fmt.Errorf("%s: peer %d out of range", prefix, e.Peer)
+			}
+			if e.Prob < 0 || e.Prob > 1 {
+				return fmt.Errorf("%s: drop probability %v outside [0,1]", prefix, e.Prob)
+			}
+		default:
+			return fmt.Errorf("%s: unknown kind", prefix)
+		}
+		if e.DelayMS < 0 {
+			return fmt.Errorf("%s: negative delay %dms", prefix, e.DelayMS)
+		}
+	}
+	return nil
+}
+
+// Normalize clamps a (possibly fuzzer-generated) plan onto a cluster of m
+// sites with latency spikes capped at maxDelay, returning a plan that
+// always passes Validate. Out-of-range endpoints are wrapped into range,
+// windows are repaired, probabilities clamped.
+func (p *Plan) Normalize(m int, maxDelay time.Duration) Plan {
+	out := Plan{Seed: p.Seed}
+	maxMS := maxDelay.Milliseconds()
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KindCrash, KindRestart, KindLatency, KindBlackhole, KindDrop:
+		default:
+			continue
+		}
+		e.Site = wrapSite(e.Site, m, e.Kind == KindBlackhole)
+		e.Peer = wrapSite(e.Peer, m, e.Kind == KindBlackhole || e.Kind == KindDrop)
+		if e.Kind == KindDrop && e.Site < 0 {
+			e.Site = 0
+		}
+		if e.Kind == KindBlackhole && e.Site == e.Peer {
+			if e.Site == Coordinator {
+				e.Peer = 0
+			} else {
+				e.Peer = (e.Site + 1) % m
+			}
+			if e.Peer == e.Site {
+				continue // single-site cluster: no distinct link exists
+			}
+		}
+		if e.Step < 0 {
+			e.Step = -e.Step
+		}
+		if e.Until < 0 {
+			e.Until = -e.Until
+		}
+		if e.Until != 0 && e.Until <= e.Step {
+			e.Until = e.Step + 1
+		}
+		if e.DelayMS < 0 {
+			e.DelayMS = -e.DelayMS
+		}
+		if e.DelayMS > maxMS {
+			e.DelayMS = maxMS
+		}
+		if e.Prob < 0 || e.Prob != e.Prob { // negative or NaN
+			e.Prob = 0
+		}
+		if e.Prob > 1 {
+			e.Prob = 1
+		}
+		out.Events = append(out.Events, e)
+	}
+	return out
+}
+
+// wrapSite folds an arbitrary site index into [0,m) — or [-1,m) when the
+// coordinator is an allowed endpoint.
+func wrapSite(s, m int, allowCoordinator bool) int {
+	if allowCoordinator && s == Coordinator {
+		return s
+	}
+	if s >= 0 && s < m {
+		return s
+	}
+	if m <= 0 {
+		return 0
+	}
+	s %= m
+	if s < 0 {
+		s += m
+	}
+	return s
+}
+
+// Crashed reports whether site is down at step: some crash window covers
+// the step and no restart for the site landed in between.
+func (p *Plan) Crashed(site int, step int64) bool {
+	for _, e := range p.Events {
+		if e.Kind != KindCrash || e.Site != site || !e.active(step) {
+			continue
+		}
+		revived := false
+		for _, r := range p.Events {
+			if r.Kind == KindRestart && r.Site == site && r.Step >= e.Step && r.Step <= step {
+				revived = true
+				break
+			}
+		}
+		if !revived {
+			return true
+		}
+	}
+	return false
+}
+
+// Blackholed reports whether the a↔b link is severed at step (either
+// endpoint may be Coordinator).
+func (p *Plan) Blackholed(a, b int, step int64) bool {
+	for _, e := range p.Events {
+		if e.Kind != KindBlackhole || !e.active(step) {
+			continue
+		}
+		if (e.Site == a && e.Peer == b) || (e.Site == b && e.Peer == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable reports whether a dial from client a (Coordinator allowed) to
+// site b can succeed at step, ignoring probabilistic drops: neither
+// endpoint crashed and the link not blackholed. This is the reachability
+// relation the chaos tests' a-priori cost model uses.
+func (p *Plan) Reachable(a, b int, step int64) bool {
+	if a >= 0 && p.Crashed(a, step) {
+		return false
+	}
+	if b >= 0 && p.Crashed(b, step) {
+		return false
+	}
+	return !p.Blackholed(a, b, step)
+}
+
+// LatencyAt returns the total connection-establishment delay injected on
+// dials involving site a or b at step.
+func (p *Plan) LatencyAt(a, b int, step int64) time.Duration {
+	var d time.Duration
+	for _, e := range p.Events {
+		if e.Kind == KindLatency && e.active(step) && (e.Site == a || e.Site == b) {
+			d += e.Delay()
+		}
+	}
+	return d
+}
+
+// DropProb returns the combined drop probability for a dial from a to b
+// at step (independent drop events compose).
+func (p *Plan) DropProb(a, b int, step int64) float64 {
+	keep := 1.0
+	for _, e := range p.Events {
+		if e.Kind != KindDrop || !e.active(step) {
+			continue
+		}
+		match := false
+		if e.Peer == Coordinator {
+			match = e.Site == a || e.Site == b
+		} else {
+			match = (e.Site == a && e.Peer == b) || (e.Site == b && e.Peer == a)
+		}
+		if match {
+			keep *= 1 - e.Prob
+		}
+	}
+	return 1 - keep
+}
+
+// MaxStep returns the largest step any event references (the end of the
+// plan's schedule); events with Until == 0 contribute their start step.
+func (p *Plan) MaxStep() int64 {
+	var max int64
+	for _, e := range p.Events {
+		if e.Step > max {
+			max = e.Step
+		}
+		if e.Until > max {
+			max = e.Until
+		}
+	}
+	return max
+}
+
+// Encode writes the plan as indented JSON.
+func (p *Plan) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ParsePlan decodes a plan from JSON bytes, rejecting unknown fields so
+// typos in hand-written plans fail loudly.
+func ParsePlan(data []byte) (Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	return p, nil
+}
+
+// ReadPlan decodes a plan from r.
+func ReadPlan(r io.Reader) (Plan, error) {
+	data, err := io.ReadAll(io.LimitReader(r, 8<<20))
+	if err != nil {
+		return Plan{}, fmt.Errorf("fault: read plan: %w", err)
+	}
+	return ParsePlan(data)
+}
+
+// LoadPlan reads and validates a plan file against a cluster of m sites.
+func LoadPlan(path string, m int) (Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("fault: %w", err)
+	}
+	defer f.Close()
+	p, err := ReadPlan(f)
+	if err != nil {
+		return Plan{}, err
+	}
+	if err := p.Validate(m); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

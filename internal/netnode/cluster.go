@@ -1,24 +1,39 @@
 package netnode
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"drp/internal/core"
+	"drp/internal/xrand"
 )
 
 // Cluster manages one node per site on the loopback interface and plays
-// the coordinator (monitor) role: deploying replication schemes and
-// driving traffic.
+// the coordinator (monitor) role: deploying replication schemes, driving
+// traffic, and — under faults — flushing queued writes and reconciling
+// stale replicas.
 type Cluster struct {
 	p       *core.Problem
 	nodes   []*Node
 	current *core.Scheme
+
+	dial       Dialer        // coordinator's outbound dialer (fault seam)
+	retry      RetryPolicy   // coordinator command retries
+	reqTimeout time.Duration // coordinator per-command deadline
+	rng        *xrand.Source // backoff jitter for coordinator retries
+	hook       func()        // called before every driven request
 }
 
 // StartLocal boots one node per site on 127.0.0.1 ephemeral ports, wires
 // the address tables and deploys the primaries-only scheme.
 func StartLocal(p *core.Problem) (*Cluster, error) {
-	c := &Cluster{p: p, current: core.NewScheme(p)}
+	c := &Cluster{
+		p:       p,
+		current: core.NewScheme(p),
+		retry:   RetryPolicy{Attempts: 1},
+		rng:     xrand.New(0x10ad),
+	}
 	addrs := make([]string, p.Sites())
 	for i := 0; i < p.Sites(); i++ {
 		node, err := Listen(p, i, "127.0.0.1:0")
@@ -38,8 +53,38 @@ func StartLocal(p *core.Problem) (*Cluster, error) {
 // Node returns the node for site i.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
+// Sites returns the number of sites in the cluster.
+func (c *Cluster) Sites() int { return c.p.Sites() }
+
 // Scheme returns the currently deployed scheme.
 func (c *Cluster) Scheme() *core.Scheme { return c.current.Clone() }
+
+// SetCommandDialer routes the coordinator's own commands through d (nil
+// restores the default TCP dialer). Fault middleware hooks in here.
+func (c *Cluster) SetCommandDialer(d Dialer) { c.dial = d }
+
+// SetRequestHook installs fn to run immediately before every request
+// driven by DriveTraffic / DriveTrafficReport. Fault injectors use it to
+// advance their deterministic logical clock in lockstep with the traffic.
+func (c *Cluster) SetRequestHook(fn func()) { c.hook = fn }
+
+// SetRetry applies one retry policy to every node's client calls and to
+// the coordinator's commands.
+func (c *Cluster) SetRetry(rp RetryPolicy) {
+	c.retry = rp
+	for _, node := range c.nodes {
+		node.SetRetry(rp)
+	}
+}
+
+// SetRequestTimeout applies one per-request deadline to every node's
+// client calls and to the coordinator's commands.
+func (c *Cluster) SetRequestTimeout(d time.Duration) {
+	c.reqTimeout = d
+	for _, node := range c.nodes {
+		node.SetRequestTimeout(d)
+	}
+}
 
 // Close shuts every node down.
 func (c *Cluster) Close() {
@@ -51,9 +96,10 @@ func (c *Cluster) Close() {
 }
 
 // Deploy diffs the current scheme against next and realises it: placing
-// and dropping replicas, refreshing each primary's replicator registry and
-// every site's nearest-replica records. Returns the migration transfer
-// cost (each new replica fetched from the nearest prior holder).
+// and dropping replicas, refreshing each primary's replicator registry,
+// every site's nearest-replica records and every site's replicator list
+// (the read-failover ranking). Returns the migration transfer cost (each
+// new replica fetched from the nearest prior holder).
 func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
 	migration := c.current.MigrationCost(next)
 	added, removed := c.current.Diff(next)
@@ -70,8 +116,8 @@ func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
 			return 0, err
 		}
 	}
-	// Refresh primary registries and nearest tables for every object whose
-	// replicator set changed.
+	// Refresh primary registries, nearest tables and replicator lists for
+	// every object whose replicator set changed.
 	touched := make(map[int]bool)
 	for _, pl := range added {
 		touched[pl.Object] = true
@@ -81,11 +127,15 @@ func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
 	}
 	nearest := core.NewNearestTable(next)
 	for k := range touched {
-		if err := c.command(c.p.Primary(k), message{Op: "registry", Object: k, Sites: next.Replicators(k)}); err != nil {
+		repl := next.Replicators(k)
+		if err := c.command(c.p.Primary(k), message{Op: "registry", Object: k, Sites: repl}); err != nil {
 			return 0, err
 		}
 		for i := 0; i < c.p.Sites(); i++ {
 			if err := c.command(i, message{Op: "nearest", Object: k, Site: nearest.Nearest(i, k)}); err != nil {
+				return 0, err
+			}
+			if err := c.command(i, message{Op: "replicas", Object: k, Sites: repl}); err != nil {
 				return 0, err
 			}
 		}
@@ -94,40 +144,157 @@ func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
 	return migration, nil
 }
 
+// command sends one coordinator request to a site, retrying transport
+// failures per the coordinator's retry policy.
 func (c *Cluster) command(site int, msg message) error {
-	resp, err := call(c.nodes[site].Addr(), msg)
+	resp, err := c.exchange(site, msg)
 	if err != nil {
 		return err
 	}
 	if !resp.OK {
-		return fmt.Errorf("netnode: site %d rejected %s: %s", site, msg.Op, resp.Err)
+		return fmt.Errorf("netnode: site %d rejected %s: %w", site, msg.Op, &ReplyError{Code: resp.Code, Msg: resp.Err})
 	}
 	return nil
 }
 
+func (c *Cluster) exchange(site int, msg message) (reply, error) {
+	addr := c.nodes[site].Addr()
+	attempts := c.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if d := c.retry.backoff(a-1, c.rng); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		resp, err := callOnce(c.dial, addr, msg, c.reqTimeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return reply{}, lastErr
+}
+
+// TrafficReport summarises one measurement period driven under faults.
+type TrafficReport struct {
+	// NTC is the transfer cost accounted to the requests that were served.
+	NTC int64
+	// Reads/Writes count the requests that were served (including reads
+	// served by failover and writes with a partial broadcast).
+	Reads, Writes int64
+	// FailedReads count reads that found no reachable replica.
+	FailedReads int64
+	// QueuedWrites count writes queued because the primary was unreachable;
+	// FlushPending replays them.
+	QueuedWrites int64
+}
+
 // DriveTraffic issues every read and write of the problem's measurement
 // period through the TCP cluster and returns the total accounted transfer
-// cost. With correct nearest tables this equals eq. 4's D for the deployed
-// scheme.
+// cost. With correct nearest tables and no faults this equals eq. 4's D
+// for the deployed scheme. Any request failure aborts with its error.
 func (c *Cluster) DriveTraffic() (int64, error) {
-	var total int64
+	rep, err := c.driveTraffic(false)
+	if err != nil {
+		return 0, err
+	}
+	return rep.NTC, nil
+}
+
+// DriveTrafficReport drives the same measurement period but degrades
+// instead of aborting: reads with no live replica and writes whose
+// primary is unreachable are counted in the report rather than failing
+// the run. Protocol-level rejections (coordination bugs) still abort.
+func (c *Cluster) DriveTrafficReport() (*TrafficReport, error) {
+	return c.driveTraffic(true)
+}
+
+func (c *Cluster) driveTraffic(tolerate bool) (*TrafficReport, error) {
+	rep := &TrafficReport{}
 	for i := 0; i < c.p.Sites(); i++ {
 		for k := 0; k < c.p.Objects(); k++ {
 			for r := int64(0); r < c.p.Reads(i, k); r++ {
+				if c.hook != nil {
+					c.hook()
+				}
 				cost, err := c.nodes[i].Read(k)
 				if err != nil {
-					return 0, fmt.Errorf("read site %d object %d: %w", i, k, err)
+					if tolerate && errors.Is(err, ErrNoReplica) {
+						rep.FailedReads++
+						continue
+					}
+					return rep, fmt.Errorf("read site %d object %d: %w", i, k, err)
 				}
-				total += cost
+				rep.Reads++
+				rep.NTC += cost
 			}
 			for w := int64(0); w < c.p.Writes(i, k); w++ {
+				if c.hook != nil {
+					c.hook()
+				}
 				cost, err := c.nodes[i].Write(k)
 				if err != nil {
-					return 0, fmt.Errorf("write site %d object %d: %w", i, k, err)
+					if tolerate && errors.Is(err, ErrWriteQueued) {
+						rep.QueuedWrites++
+						continue
+					}
+					return rep, fmt.Errorf("write site %d object %d: %w", i, k, err)
 				}
-				total += cost
+				rep.Writes++
+				rep.NTC += cost
 			}
 		}
 	}
+	return rep, nil
+}
+
+// FlushPending replays every queued write in site order and returns the
+// transfer cost incurred. Writes whose primary is still unreachable stay
+// queued.
+func (c *Cluster) FlushPending() (int64, error) {
+	var total int64
+	for _, node := range c.nodes {
+		cost, err := node.FlushPending()
+		total += cost
+		if err != nil {
+			return total, err
+		}
+	}
 	return total, nil
+}
+
+// PendingWrites sums the queued writes across all nodes.
+func (c *Cluster) PendingWrites() int {
+	total := 0
+	for _, node := range c.nodes {
+		total += node.PendingWrites()
+	}
+	return total
+}
+
+// Reconcile asks every primary to re-sync the replicas that missed a
+// broadcast (crashed or partitioned during a write), returning the
+// transfer cost of the re-shipped copies and the number of replicas still
+// unreachable. Run it after a failed site rejoins to restore version
+// convergence.
+func (c *Cluster) Reconcile() (int64, int, error) {
+	var total int64
+	remaining := 0
+	for k := 0; k < c.p.Objects(); k++ {
+		sp := c.p.Primary(k)
+		resp, err := c.exchange(sp, message{Op: "reconcile", Object: k})
+		if err != nil {
+			return total, remaining, fmt.Errorf("reconcile object %d: %w", k, err)
+		}
+		if !resp.OK {
+			return total, remaining, fmt.Errorf("reconcile object %d: %w", k, &ReplyError{Code: resp.Code, Msg: resp.Err})
+		}
+		total += resp.Cost
+		remaining += len(resp.Stale)
+	}
+	return total, remaining, nil
 }

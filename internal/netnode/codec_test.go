@@ -1,0 +1,223 @@
+package netnode
+
+// Wire-codec edge cases: malformed, truncated and oversized request lines
+// must produce typed error replies (or a clean close for unframeable
+// streams), never a panic, and must not wedge the node for later clients.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawExchange writes raw bytes to the node, optionally half-closes the
+// write side, and decodes one reply line.
+func rawExchange(t *testing.T, addr string, payload []byte, closeWrite bool) (reply, error) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if closeWrite {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}
+	var resp reply
+	err = json.NewDecoder(bufio.NewReader(conn)).Decode(&resp)
+	return resp, err
+}
+
+func TestWireCodecEdgeCases(t *testing.T) {
+	p := gen(t, 3, 3, 0.3, 0.5, 1)
+	c := startCluster(t, p)
+	addr := c.Node(0).Addr()
+
+	primaryAddr := c.Node(p.Primary(0)).Addr()
+	oversized := `{"op":"read","obj":0,"pad":"` + strings.Repeat("x", maxLineBytes) + `"}` + "\n"
+
+	cases := []struct {
+		name       string
+		payload    string
+		closeWrite bool
+		wantCode   string
+		wantClosed bool // stream closes with no reply at all
+	}{
+		{name: "bad JSON line", payload: "{op read}\n", wantCode: CodeBadJSON},
+		{name: "unknown op", payload: `{"op":"explode","obj":0}` + "\n", wantCode: CodeBadOp},
+		{name: "oversized line", payload: oversized, wantCode: CodeOversized},
+		{name: "truncated request", payload: `{"op":"read","obj`, closeWrite: true, wantClosed: true},
+		{name: "object out of range", payload: `{"op":"read","obj":99}` + "\n", wantCode: CodeBadObject},
+		{name: "negative object", payload: `{"op":"read","obj":-1}` + "\n", wantCode: CodeBadObject},
+		{name: "empty line then valid request", payload: "\n" + `{"op":"version","obj":0}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			target := addr
+			if tc.wantCode == "" && !tc.wantClosed {
+				target = primaryAddr // the version probe needs a holder
+			}
+			resp, err := rawExchange(t, target, []byte(tc.payload), tc.closeWrite)
+			if tc.wantClosed {
+				if err == nil {
+					t.Fatalf("expected the node to close the stream without replying, got %+v", resp)
+				}
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("expected EOF-style close, got %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("no reply: %v", err)
+			}
+			if resp.Code != tc.wantCode {
+				t.Fatalf("reply code %q, want %q (reply %+v)", resp.Code, tc.wantCode, resp)
+			}
+			if tc.wantCode != "" && resp.OK {
+				t.Fatalf("error reply claims OK: %+v", resp)
+			}
+		})
+	}
+
+	// The abuse above must not have wedged the node: a well-formed request
+	// on a fresh connection still gets served.
+	resp, err := call(primaryAddr, message{Op: "version", Object: 0})
+	if err != nil {
+		t.Fatalf("node unusable after codec abuse: %v", err)
+	}
+	if !resp.OK {
+		t.Fatalf("version request rejected after codec abuse: %+v", resp)
+	}
+}
+
+// TestFramingViolationClosesConn pins that oversized and malformed lines
+// terminate the connection after the typed reply — the stream cannot be
+// re-framed — while in-protocol errors keep it open.
+func TestFramingViolationClosesConn(t *testing.T) {
+	p := gen(t, 3, 3, 0.3, 0.5, 1)
+	c := startCluster(t, p)
+	addr := c.Node(0).Addr()
+
+	for _, tc := range []struct {
+		name      string
+		payload   string
+		wantClose bool
+	}{
+		{"bad JSON closes", "{op}\n", true},
+		{"oversized closes", strings.Repeat("y", maxLineBytes+2) + "\n", true},
+		{"unknown op keeps serving", `{"op":"explode","obj":0}` + "\n", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+			if _, err := conn.Write([]byte(tc.payload)); err != nil {
+				t.Fatal(err)
+			}
+			r := bufio.NewReader(conn)
+			var first reply
+			if err := json.NewDecoder(r).Decode(&first); err != nil {
+				t.Fatalf("no error reply before close: %v", err)
+			}
+			// Second request on the same connection.
+			if _, err := conn.Write([]byte(`{"op":"version","obj":0}` + "\n")); err != nil {
+				if tc.wantClose {
+					return // write failed because the node closed: fine
+				}
+				t.Fatal(err)
+			}
+			var second reply
+			err = json.NewDecoder(r).Decode(&second)
+			if tc.wantClose {
+				if err == nil {
+					t.Fatalf("connection survived a framing violation: %+v", second)
+				}
+			} else if err != nil {
+				t.Fatalf("connection died after an in-protocol error: %v", err)
+			}
+		})
+	}
+}
+
+// TestCallPeerClosesMidReply exercises the client side: a peer that
+// accepts and then closes without replying (or mid-reply) must surface a
+// transport error from call, not a hang or panic.
+func TestCallPeerClosesMidReply(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		partial string // bytes written before the abrupt close
+	}{
+		{"close before any reply", ""},
+		{"close mid-reply", `{"ok":tr`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			go func() {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				// Drain the request line, emit the partial bytes, slam shut.
+				_, _ = bufio.NewReader(conn).ReadString('\n')
+				if tc.partial != "" {
+					_, _ = conn.Write([]byte(tc.partial))
+				}
+				conn.Close()
+			}()
+			_, err = callOnce(nil, ln.Addr().String(), message{Op: "read", Object: 0}, 5*time.Second)
+			if err == nil {
+				t.Fatal("call against a peer that closed mid-reply returned no error")
+			}
+			if !strings.Contains(err.Error(), "recv") {
+				t.Fatalf("expected a recv error, got %v", err)
+			}
+		})
+	}
+}
+
+// TestUnknownOpTypedReplyRegression is the regression for the formerly
+// bare default branches: an unknown op must yield a typed CodeBadOp reply
+// naming the op, and a sync for an unheld object must yield CodeNotHolder
+// — neither silently succeeds.
+func TestUnknownOpTypedReplyRegression(t *testing.T) {
+	p := gen(t, 3, 3, 0.3, 0.5, 1)
+	c := startCluster(t, p)
+	k := 0
+	nonHolder := (p.Primary(k) + 1) % p.Sites()
+
+	resp, err := call(c.Node(0).Addr(), message{Op: "mystery", Object: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != CodeBadOp || !strings.Contains(resp.Err, "mystery") {
+		t.Errorf("unknown op reply = %+v, want Code=%q naming the op", resp, CodeBadOp)
+	}
+
+	resp, err = call(c.Node(nonHolder).Addr(), message{Op: "sync", Object: k, Version: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != CodeNotHolder {
+		t.Errorf("sync to non-holder reply = %+v, want Code=%q", resp, CodeNotHolder)
+	}
+	if got := c.Node(nonHolder).Version(k); got != 0 {
+		t.Errorf("rejected sync still bumped version to %d", got)
+	}
+}

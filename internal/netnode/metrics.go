@@ -21,6 +21,9 @@ type nodeMetrics struct {
 	writesRemote  *metrics.Counter
 	ntcRead       *metrics.Counter
 	ntcWrite      *metrics.Counter
+	failovers     *metrics.Counter
+	ntcFailover   *metrics.Counter
+	ntcFlush      *metrics.Counter
 }
 
 func newNodeMetrics(reg *metrics.Registry) *nodeMetrics {
@@ -35,6 +38,9 @@ func newNodeMetrics(reg *metrics.Registry) *nodeMetrics {
 		writesRemote:  reg.Counter("drp_net_writes_total", "Writes by the writer's role for the object.", metrics.Labels{"role": "remote"}),
 		ntcRead:       reg.Counter("drp_net_ntc_total", "Transfer cost accounted to client requests.", metrics.Labels{"op": "read"}),
 		ntcWrite:      reg.Counter("drp_net_ntc_total", "Transfer cost accounted to client requests.", metrics.Labels{"op": "write"}),
+		failovers:     reg.Counter("drp_net_read_failovers_total", "Reads served by a farther replica after the nearest was unreachable.", nil),
+		ntcFailover:   reg.Counter("drp_net_ntc_degraded_total", "Transfer cost accounted to degraded-path requests.", metrics.Labels{"op": "read_failover"}),
+		ntcFlush:      reg.Counter("drp_net_ntc_degraded_total", "Transfer cost accounted to degraded-path requests.", metrics.Labels{"op": "write_flush"}),
 	}
 }
 
@@ -44,6 +50,34 @@ func (nm *nodeMetrics) served(op string) {
 	nm.reg.Counter("drp_net_messages_total", "Wire protocol messages served, by op.", metrics.Labels{"op": op}).Inc()
 }
 
+// retry counts one transport-level retry of an outbound call, by op.
+func (nm *nodeMetrics) retry(op string) {
+	nm.reg.Counter("drp_net_retries_total", "Transport-level retries of outbound calls, by op.", metrics.Labels{"op": op}).Inc()
+}
+
+// timeout counts one per-request deadline miss, by op.
+func (nm *nodeMetrics) timeout(op string) {
+	nm.reg.Counter("drp_net_request_timeouts_total", "Outbound calls that missed their per-request deadline, by op.", metrics.Labels{"op": op}).Inc()
+}
+
+// degraded counts one degraded-path outcome: a read with no live replica,
+// a write queued behind an unreachable primary, or a partial broadcast.
+func (nm *nodeMetrics) degraded(kind string) {
+	nm.reg.Counter("drp_net_degraded_total", "Requests that left the happy path, by outcome.", metrics.Labels{"kind": kind}).Inc()
+}
+
+// failover records a read served by a farther replica and its cost.
+func (nm *nodeMetrics) failover(cost int64) {
+	nm.failovers.Inc()
+	nm.ntcFailover.Add(cost)
+}
+
+// flushed records one queued write replayed successfully.
+func (nm *nodeMetrics) flushed(cost int64) {
+	nm.degraded("write_flushed")
+	nm.ntcFlush.Add(cost)
+}
+
 // RegisterMetricFamilies pre-creates the drp_net_* families in reg at zero,
 // for endpoints that must expose the full surface before any traffic.
 func RegisterMetricFamilies(reg *metrics.Registry) {
@@ -51,8 +85,15 @@ func RegisterMetricFamilies(reg *metrics.Registry) {
 		return
 	}
 	nm := newNodeMetrics(reg)
-	for _, op := range []string{"read", "update", "sync", "place", "drop", "version", "registry", "nearest"} {
+	for _, op := range []string{"read", "update", "sync", "place", "drop", "version", "registry", "nearest", "replicas", "reconcile"} {
 		nm.reg.Counter("drp_net_messages_total", "Wire protocol messages served, by op.", metrics.Labels{"op": op})
+	}
+	for _, op := range []string{"read", "update", "sync"} {
+		nm.reg.Counter("drp_net_retries_total", "Transport-level retries of outbound calls, by op.", metrics.Labels{"op": op})
+		nm.reg.Counter("drp_net_request_timeouts_total", "Outbound calls that missed their per-request deadline, by op.", metrics.Labels{"op": op})
+	}
+	for _, kind := range []string{"read_failed", "write_queued", "write_flushed", "broadcast_partial"} {
+		nm.reg.Counter("drp_net_degraded_total", "Requests that left the happy path, by outcome.", metrics.Labels{"kind": kind})
 	}
 }
 

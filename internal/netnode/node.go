@@ -12,18 +12,31 @@
 // their locking are exercised for real. With a full measurement period of
 // traffic the cluster's accounted NTC equals eq. 4's D exactly; the tests
 // assert it.
+//
+// The serving path tolerates faults. Every outbound call goes through an
+// injectable dialer (see drp/internal/fault) with a per-request deadline
+// and capped, jittered exponential backoff. Reads that cannot reach the
+// recorded nearest replica fail over to the next-nearest live replica,
+// walking the cost ranking exactly as eq. 4's min C(i,j) would with the
+// dead sites excluded. Writes degrade instead of failing: an unreachable
+// primary queues the write locally (flushed with FlushPending), and a
+// partial broadcast marks the missed replicas stale at the primary for
+// later version reconciliation (the "reconcile" op).
 package netnode
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"drp/internal/core"
+	"drp/internal/xrand"
 )
 
 // message is the wire format: one JSON object per line.
@@ -40,10 +53,63 @@ type message struct {
 type reply struct {
 	OK      bool   `json:"ok"`
 	Err     string `json:"err,omitempty"`
+	Code    string `json:"code,omitempty"`
 	Cost    int64  `json:"cost,omitempty"`
 	Holds   bool   `json:"holds,omitempty"`
 	Version int64  `json:"version,omitempty"`
+	Stale   []int  `json:"stale,omitempty"`
 }
+
+// Typed protocol rejection codes carried in reply.Code, so clients can
+// distinguish coordination bugs from transport faults without parsing
+// error strings.
+const (
+	CodeBadOp      = "bad_op"
+	CodeBadJSON    = "bad_json"
+	CodeOversized  = "oversized"
+	CodeBadObject  = "bad_object"
+	CodeBadSite    = "bad_site"
+	CodeNotPrimary = "not_primary"
+	CodeNotHolder  = "not_holder"
+)
+
+// maxLineBytes caps one wire request line; longer lines are rejected with
+// CodeOversized and the connection is closed (the stream can no longer be
+// trusted to be framed).
+const maxLineBytes = 1 << 20
+
+// errOversized is returned by readLine when the cap is exceeded.
+var errOversized = errors.New("netnode: request line exceeds limit")
+
+// ReplyError is a protocol-level rejection from a peer: the transport
+// worked, but the peer refused the operation. Protocol rejections are
+// never retried or failed over — they indicate a coordination bug, not a
+// dead site.
+type ReplyError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ReplyError) Error() string {
+	if e.Code == "" {
+		return "netnode: peer rejected request: " + e.Msg
+	}
+	return fmt.Sprintf("netnode: peer rejected request (%s): %s", e.Code, e.Msg)
+}
+
+// Sentinel outcomes of the degraded serving paths.
+var (
+	// ErrNoReplica reports a read that found no reachable replica.
+	ErrNoReplica = errors.New("netnode: no live replica")
+	// ErrWriteQueued reports a write whose primary was unreachable; the
+	// write is queued locally and will be retried by FlushPending.
+	ErrWriteQueued = errors.New("netnode: write queued, primary unreachable")
+)
+
+// Dialer opens a connection to a peer address. The default is a plain TCP
+// dial; drp/internal/fault substitutes middleware that injects crashes,
+// blackholes, latency and drops without the node code changing.
+type Dialer func(addr string) (net.Conn, error)
 
 // Node is one site: a TCP server plus the site-local replication state the
 // paper prescribes (its replica holdings, the nearest-replica record per
@@ -55,12 +121,20 @@ type Node struct {
 
 	mu       sync.Mutex
 	holds    map[int]bool
-	versions map[int]int64 // version of each locally held replica
-	nearest  []int         // SN_k(site): where this site sends reads for k
-	registry [][]int       // for objects primaried here: the replicator list
+	versions map[int]int64        // version of each locally held replica
+	nearest  []int                // SN_k(site): where this site sends reads for k
+	replicas [][]int              // R_k as last pushed by the coordinator
+	registry [][]int              // for objects primaried here: the replicator list
+	stale    map[int]map[int]bool // primary only: replicas that missed a sync
+	pending  map[int]int          // writes queued while the primary was unreachable
 	peers    []string
 	ntc      int64        // transfer cost charged to this node's activities
 	metrics  *nodeMetrics // telemetry instruments; nil when disabled
+
+	dial       Dialer
+	retry      RetryPolicy
+	reqTimeout time.Duration
+	rng        *xrand.Source // backoff jitter only; never touches accounting
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -85,12 +159,18 @@ func Listen(p *core.Problem, site int, addr string) (*Node, error) {
 		holds:    make(map[int]bool),
 		versions: make(map[int]int64),
 		nearest:  make([]int, p.Objects()),
+		replicas: make([][]int, p.Objects()),
 		registry: make([][]int, p.Objects()),
+		stale:    make(map[int]map[int]bool),
+		pending:  make(map[int]int),
+		retry:    RetryPolicy{Attempts: 1},
+		rng:      xrand.New(uint64(site) + 1),
 		closed:   make(chan struct{}),
 	}
 	for k := 0; k < p.Objects(); k++ {
 		sp := p.Primary(k)
 		n.nearest[k] = sp
+		n.replicas[k] = []int{sp}
 		if sp == site {
 			n.holds[k] = true
 			n.registry[k] = []int{site}
@@ -114,10 +194,34 @@ func (n *Node) SetPeers(addrs []string) {
 	n.peers = append([]string(nil), addrs...)
 }
 
+// SetDialer routes the node's outbound calls through d (nil restores the
+// default TCP dialer). Fault-injection middleware hooks in here.
+func (n *Node) SetDialer(d Dialer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dial = d
+}
+
+// SetRetry configures transport-level retries for the node's outbound
+// calls. The zero policy (Attempts ≤ 1) disables retrying.
+func (n *Node) SetRetry(rp RetryPolicy) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.retry = rp
+}
+
+// SetRequestTimeout bounds each outbound call (dial plus round trip);
+// 0 disables the deadline.
+func (n *Node) SetRequestTimeout(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reqTimeout = d
+}
+
 // Version returns the local version of object k (0 if not held). Versions
 // count the writes the primary has serialised; the primary-copy protocol
 // guarantees replicas converge to the primary's version once broadcasts
-// complete.
+// complete (or, after a partial broadcast, once reconciliation runs).
 func (n *Node) Version(k int) int64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -138,6 +242,26 @@ func (n *Node) Holds(k int) bool {
 	return n.holds[k]
 }
 
+// PendingWrites returns the number of writes queued locally because the
+// primary was unreachable when they were issued.
+func (n *Node) PendingWrites() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, c := range n.pending {
+		total += c
+	}
+	return total
+}
+
+// StaleReplicas returns, for an object primaried at this node, the sites
+// that missed a sync broadcast and still await reconciliation.
+func (n *Node) StaleReplicas(k int) []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return sortedSites(n.stale[k])
+}
+
 // Close shuts the listener down and waits for in-flight handlers.
 func (n *Node) Close() error {
 	close(n.closed)
@@ -155,6 +279,12 @@ func (n *Node) acceptLoop() {
 			case <-n.closed:
 				return
 			default:
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				// Transient accept failure: back off briefly instead of
+				// spinning the CPU on a hot error.
+				time.Sleep(time.Millisecond)
 				continue
 			}
 		}
@@ -166,20 +296,57 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// serve handles one connection: a sequence of JSON-line requests.
+// serve handles one connection: a sequence of JSON-line requests. Framing
+// violations (oversized or malformed lines) get a typed error reply and
+// close the connection, since the stream can no longer be trusted.
 func (n *Node) serve(conn net.Conn) {
 	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	r := bufio.NewReader(conn)
 	enc := json.NewEncoder(conn)
 	for {
+		line, err := readLine(r, maxLineBytes)
+		if err == errOversized {
+			_ = enc.Encode(reply{Code: CodeOversized, Err: "request line exceeds limit"})
+			return
+		}
+		if err != nil {
+			return
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
 		var msg message
-		if err := dec.Decode(&msg); err != nil {
+		if err := json.Unmarshal(line, &msg); err != nil {
+			_ = enc.Encode(reply{Code: CodeBadJSON, Err: fmt.Sprintf("malformed request: %v", err)})
 			return
 		}
 		resp := n.handle(msg)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+	}
+}
+
+// readLine reads one newline-terminated line of at most max bytes. A line
+// exceeding the cap returns errOversized; EOF before any byte returns the
+// underlying error.
+func readLine(r *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > max {
+			return nil, errOversized
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			// io.EOF with a partial line is a truncated request: surface it
+			// as a plain read error so the connection closes without a reply.
+			return line, err
+		}
+		return line, nil
 	}
 }
 
@@ -191,7 +358,7 @@ func (n *Node) handle(msg message) reply {
 		nm.served(msg.Op)
 	}
 	if msg.Object < 0 || msg.Object >= n.p.Objects() {
-		return reply{Err: fmt.Sprintf("object %d out of range", msg.Object)}
+		return reply{Code: CodeBadObject, Err: fmt.Sprintf("object %d out of range", msg.Object)}
 	}
 	switch msg.Op {
 	case "read":
@@ -202,25 +369,26 @@ func (n *Node) handle(msg message) reply {
 		version := n.versions[msg.Object]
 		n.mu.Unlock()
 		if !holds {
-			return reply{Err: fmt.Sprintf("site %d does not hold object %d", n.site, msg.Object)}
+			return reply{Code: CodeNotHolder, Err: fmt.Sprintf("site %d does not hold object %d", n.site, msg.Object)}
 		}
 		return reply{OK: true, Holds: true, Version: version}
 
 	case "update":
 		// A writer ships a new version to us — the primary — and we
-		// broadcast it to every other replicator.
+		// broadcast it to every other replicator. Unreachable replicators
+		// are marked stale instead of failing the write.
 		if n.p.Primary(msg.Object) != n.site {
-			return reply{Err: fmt.Sprintf("site %d is not the primary of object %d", n.site, msg.Object)}
+			return reply{Code: CodeNotPrimary, Err: fmt.Sprintf("site %d is not the primary of object %d", n.site, msg.Object)}
 		}
 		n.mu.Lock()
 		n.versions[msg.Object]++
 		version := n.versions[msg.Object]
 		n.mu.Unlock()
-		cost, err := n.broadcast(msg.Object, msg.From, version)
+		cost, stale, err := n.broadcast(msg.Object, msg.From, version)
 		if err != nil {
-			return reply{Err: err.Error()}
+			return errorReply(err)
 		}
-		return reply{OK: true, Cost: cost, Version: version}
+		return reply{OK: true, Cost: cost, Version: version, Stale: stale}
 
 	case "sync":
 		// The primary pushes a fresh version of an object we replicate.
@@ -231,7 +399,7 @@ func (n *Node) handle(msg message) reply {
 		}
 		n.mu.Unlock()
 		if !holds {
-			return reply{Err: fmt.Sprintf("sync for object %d not replicated at site %d", msg.Object, n.site)}
+			return reply{Code: CodeNotHolder, Err: fmt.Sprintf("sync for object %d not replicated at site %d", msg.Object, n.site)}
 		}
 		return reply{OK: true}
 
@@ -245,7 +413,7 @@ func (n *Node) handle(msg message) reply {
 
 	case "drop":
 		if n.p.Primary(msg.Object) == n.site {
-			return reply{Err: "cannot drop a primary copy"}
+			return reply{Code: CodeNotPrimary, Err: "cannot drop a primary copy"}
 		}
 		n.mu.Lock()
 		delete(n.holds, msg.Object)
@@ -259,70 +427,226 @@ func (n *Node) handle(msg message) reply {
 		holds := n.holds[msg.Object]
 		n.mu.Unlock()
 		if !holds {
-			return reply{Err: fmt.Sprintf("site %d does not hold object %d", n.site, msg.Object)}
+			return reply{Code: CodeNotHolder, Err: fmt.Sprintf("site %d does not hold object %d", n.site, msg.Object)}
 		}
 		return reply{OK: true, Version: version}
 
 	case "registry":
-		// The coordinator updates the primary's replicator list.
+		// The coordinator updates the primary's replicator list. Stale
+		// marks for sites no longer replicating the object are dropped —
+		// there is nothing left to reconcile at them.
 		if n.p.Primary(msg.Object) != n.site {
-			return reply{Err: "registry update sent to a non-primary"}
+			return reply{Code: CodeNotPrimary, Err: "registry update sent to a non-primary"}
+		}
+		if code, err := checkSites(msg.Sites, n.p.Sites()); err != nil {
+			return reply{Code: code, Err: err.Error()}
 		}
 		n.mu.Lock()
 		n.registry[msg.Object] = append([]int(nil), msg.Sites...)
+		if marks := n.stale[msg.Object]; marks != nil {
+			keep := make(map[int]bool, len(msg.Sites))
+			for _, j := range msg.Sites {
+				keep[j] = true
+			}
+			for j := range marks {
+				if !keep[j] {
+					delete(marks, j)
+				}
+			}
+		}
+		n.mu.Unlock()
+		return reply{OK: true}
+
+	case "replicas":
+		// The coordinator pushes the object's full replicator set to every
+		// site; reads fail over along this list when the nearest dies.
+		if code, err := checkSites(msg.Sites, n.p.Sites()); err != nil {
+			return reply{Code: code, Err: err.Error()}
+		}
+		n.mu.Lock()
+		n.replicas[msg.Object] = append([]int(nil), msg.Sites...)
 		n.mu.Unlock()
 		return reply{OK: true}
 
 	case "nearest":
 		if msg.Site < 0 || msg.Site >= n.p.Sites() {
-			return reply{Err: "nearest site out of range"}
+			return reply{Code: CodeBadSite, Err: "nearest site out of range"}
 		}
 		n.mu.Lock()
 		n.nearest[msg.Object] = msg.Site
 		n.mu.Unlock()
 		return reply{OK: true}
 
+	case "reconcile":
+		// The coordinator asks the primary to re-sync every replica that
+		// missed a broadcast. Each successful re-sync is a fresh transfer
+		// of the object and is accounted as such; replicas still
+		// unreachable stay marked and are reported back.
+		if n.p.Primary(msg.Object) != n.site {
+			return reply{Code: CodeNotPrimary, Err: "reconcile sent to a non-primary"}
+		}
+		cost, remaining := n.reconcile(msg.Object)
+		return reply{OK: true, Cost: cost, Stale: remaining}
+
 	default:
-		return reply{Err: fmt.Sprintf("unknown op %q", msg.Op)}
+		return reply{Code: CodeBadOp, Err: fmt.Sprintf("unknown op %q", msg.Op)}
 	}
 }
 
+// checkSites validates a site list from the wire.
+func checkSites(sites []int, m int) (string, error) {
+	for _, j := range sites {
+		if j < 0 || j >= m {
+			return CodeBadSite, fmt.Errorf("site %d out of range", j)
+		}
+	}
+	return "", nil
+}
+
+// errorReply converts a local error into a wire reply, preserving a typed
+// code when the error is itself a protocol rejection.
+func errorReply(err error) reply {
+	var re *ReplyError
+	if errors.As(err, &re) {
+		return reply{Code: re.Code, Err: re.Msg}
+	}
+	return reply{Err: err.Error()}
+}
+
 // broadcast pushes the updated object to every replicator except the
-// writer and the primary itself, returning the transfer cost of the
-// fan-out.
-func (n *Node) broadcast(obj, writer int, version int64) (int64, error) {
+// writer and the primary itself. Replicators that cannot be reached are
+// marked stale for later reconciliation instead of failing the write; the
+// returned cost covers only the syncs that landed.
+func (n *Node) broadcast(obj, writer int, version int64) (int64, []int, error) {
 	n.mu.Lock()
 	targets := append([]int(nil), n.registry[obj]...)
 	peers := n.peers
+	nm := n.metrics
 	n.mu.Unlock()
 	var cost int64
+	var missed []int
 	for _, j := range targets {
 		if j == writer || j == n.site {
 			continue
 		}
 		if j < 0 || j >= len(peers) {
-			return 0, fmt.Errorf("replicator %d has no known address", j)
+			return 0, nil, fmt.Errorf("replicator %d has no known address", j)
 		}
-		resp, err := call(peers[j], message{Op: "sync", Object: obj, Version: version})
+		resp, err := n.call(peers[j], message{Op: "sync", Object: obj, Version: version})
 		if err != nil {
-			return 0, fmt.Errorf("sync to site %d: %w", j, err)
+			missed = append(missed, j)
+			continue
 		}
 		if !resp.OK {
-			return 0, errors.New(resp.Err)
+			return 0, nil, &ReplyError{Code: resp.Code, Msg: fmt.Sprintf("sync to site %d: %s", j, resp.Err)}
 		}
 		cost += n.p.Size(obj) * n.p.Cost(n.site, j)
+		n.clearStale(obj, j)
 	}
-	return cost, nil
+	if len(missed) > 0 {
+		n.markStale(obj, missed)
+		if nm != nil {
+			nm.degraded("broadcast_partial")
+		}
+	}
+	return cost, missed, nil
+}
+
+func (n *Node) markStale(obj int, sites []int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	marks := n.stale[obj]
+	if marks == nil {
+		marks = make(map[int]bool)
+		n.stale[obj] = marks
+	}
+	for _, j := range sites {
+		marks[j] = true
+	}
+}
+
+func (n *Node) clearStale(obj, site int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if marks := n.stale[obj]; marks != nil {
+		delete(marks, site)
+	}
+}
+
+// reconcile re-syncs the stale replicas of an object primaried here,
+// returning the transfer cost of the copies that shipped and the sites
+// that remain unreachable.
+func (n *Node) reconcile(obj int) (int64, []int) {
+	n.mu.Lock()
+	targets := sortedSites(n.stale[obj])
+	version := n.versions[obj]
+	peers := n.peers
+	n.mu.Unlock()
+	var cost int64
+	var remaining []int
+	for _, j := range targets {
+		if j < 0 || j >= len(peers) {
+			remaining = append(remaining, j)
+			continue
+		}
+		resp, err := n.call(peers[j], message{Op: "sync", Object: obj, Version: version})
+		if err != nil || !resp.OK {
+			remaining = append(remaining, j)
+			continue
+		}
+		cost += n.p.Size(obj) * n.p.Cost(n.site, j)
+		n.clearStale(obj, j)
+	}
+	return cost, remaining
+}
+
+func sortedSites(set map[int]bool) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for j := range set {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// readCandidates returns the replicas to try for a read of obj, nearest
+// first, then the remaining replicators ordered by transfer cost from this
+// site (ties broken by site index) — the exact ranking eq. 4's min C(i,j)
+// induces once dead sites are excluded.
+func (n *Node) readCandidates(obj, nearest int, replicas []int) []int {
+	rest := make([]int, 0, len(replicas))
+	for _, j := range replicas {
+		if j != nearest && j != n.site {
+			rest = append(rest, j)
+		}
+	}
+	sort.Slice(rest, func(a, b int) bool {
+		ca, cb := n.p.Cost(n.site, rest[a]), n.p.Cost(n.site, rest[b])
+		if ca != cb {
+			return ca < cb
+		}
+		return rest[a] < rest[b]
+	})
+	return append([]int{nearest}, rest...)
 }
 
 // Read performs a client read from this node: served locally if a replica
-// is held, otherwise fetched from the recorded nearest replica over TCP.
-// Returns the transfer cost incurred.
+// is held, otherwise fetched from the recorded nearest replica over TCP,
+// failing over to the next-nearest live replica when sites are down.
+// Returns the transfer cost incurred. ErrNoReplica reports that every
+// replica was unreachable.
 func (n *Node) Read(obj int) (int64, error) {
 	start := time.Now()
+	if obj < 0 || obj >= n.p.Objects() {
+		return 0, fmt.Errorf("netnode: object %d out of range", obj)
+	}
 	n.mu.Lock()
 	local := n.holds[obj]
 	target := n.nearest[obj]
+	replicas := n.replicas[obj]
 	peers := n.peers
 	nm := n.metrics
 	n.mu.Unlock()
@@ -332,31 +656,55 @@ func (n *Node) Read(obj int) (int64, error) {
 		}
 		return 0, nil
 	}
-	if target < 0 || target >= len(peers) {
-		return 0, fmt.Errorf("netnode: no address for nearest site %d", target)
+	var lastErr error
+	for idx, j := range n.readCandidates(obj, target, replicas) {
+		if j < 0 || j >= len(peers) {
+			lastErr = fmt.Errorf("netnode: no address for site %d", j)
+			continue
+		}
+		resp, err := n.call(peers[j], message{Op: "read", Object: obj})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !resp.OK {
+			// A live peer refusing the read is a coordination bug (e.g. a
+			// stale nearest record pointing at a non-holder): fail loudly
+			// rather than silently serving from elsewhere.
+			return 0, &ReplyError{Code: resp.Code, Msg: resp.Err}
+		}
+		cost := n.p.Size(obj) * n.p.Cost(n.site, j)
+		n.mu.Lock()
+		n.ntc += cost
+		n.mu.Unlock()
+		if nm != nil {
+			nm.read(false, cost, time.Since(start))
+			if idx > 0 {
+				nm.failover(cost)
+			}
+		}
+		return cost, nil
 	}
-	resp, err := call(peers[target], message{Op: "read", Object: obj})
-	if err != nil {
-		return 0, err
-	}
-	if !resp.OK {
-		return 0, errors.New(resp.Err)
-	}
-	cost := n.p.Size(obj) * n.p.Cost(n.site, target)
-	n.mu.Lock()
-	n.ntc += cost
-	n.mu.Unlock()
 	if nm != nil {
-		nm.read(false, cost, time.Since(start))
+		nm.degraded("read_failed")
 	}
-	return cost, nil
+	if lastErr != nil {
+		return 0, fmt.Errorf("%w for object %d: %v", ErrNoReplica, obj, lastErr)
+	}
+	return 0, fmt.Errorf("%w for object %d", ErrNoReplica, obj)
 }
 
 // Write performs a client write from this node: the new version ships to
-// the primary, which broadcasts it to the other replicators. Returns the
-// total transfer cost (shipping plus broadcast).
+// the primary, which broadcasts it to the other replicators (unreachable
+// ones are marked stale at the primary rather than failing the write).
+// Returns the total transfer cost (shipping plus the successful part of
+// the broadcast). When the primary itself is unreachable the write is
+// queued locally and ErrWriteQueued is returned; FlushPending retries it.
 func (n *Node) Write(obj int) (int64, error) {
 	start := time.Now()
+	if obj < 0 || obj >= n.p.Objects() {
+		return 0, fmt.Errorf("netnode: object %d out of range", obj)
+	}
 	n.mu.Lock()
 	nm := n.metrics
 	n.mu.Unlock()
@@ -368,7 +716,7 @@ func (n *Node) Write(obj int) (int64, error) {
 		n.versions[obj]++
 		version := n.versions[obj]
 		n.mu.Unlock()
-		bcast, err := n.broadcast(obj, n.site, version)
+		bcast, _, err := n.broadcast(obj, n.site, version)
 		if err != nil {
 			return 0, err
 		}
@@ -380,12 +728,20 @@ func (n *Node) Write(obj int) (int64, error) {
 		if sp >= len(peers) {
 			return 0, fmt.Errorf("netnode: no address for primary site %d", sp)
 		}
-		resp, err := call(peers[sp], message{Op: "update", Object: obj, From: n.site})
+		resp, err := n.call(peers[sp], message{Op: "update", Object: obj, From: n.site})
 		if err != nil {
-			return 0, err
+			// Primary unreachable: queue-and-flag. The write is not lost —
+			// FlushPending replays it once the primary is back.
+			n.mu.Lock()
+			n.pending[obj]++
+			n.mu.Unlock()
+			if nm != nil {
+				nm.degraded("write_queued")
+			}
+			return 0, fmt.Errorf("%w: object %d: %v", ErrWriteQueued, obj, err)
 		}
 		if !resp.OK {
-			return 0, errors.New(resp.Err)
+			return 0, &ReplyError{Code: resp.Code, Msg: resp.Err}
 		}
 		cost = n.p.Size(obj)*n.p.Cost(n.site, sp) + resp.Cost
 		// The broadcast skips the writer (it produced the new version), so
@@ -405,13 +761,124 @@ func (n *Node) Write(obj int) (int64, error) {
 	return cost, nil
 }
 
-// call dials addr, sends one request and reads one reply.
-func call(addr string, msg message) (reply, error) {
-	conn, err := net.Dial("tcp", addr)
+// FlushPending replays the writes queued while the primary was down, in
+// object order, and returns the transfer cost incurred. Writes whose
+// primary is still unreachable stay queued; the first such stall stops
+// flushing that object and moves on to the next.
+func (n *Node) FlushPending() (int64, error) {
+	n.mu.Lock()
+	objs := make([]int, 0, len(n.pending))
+	for k, c := range n.pending {
+		if c > 0 {
+			objs = append(objs, k)
+		}
+	}
+	peers := n.peers
+	nm := n.metrics
+	n.mu.Unlock()
+	sort.Ints(objs)
+	var total int64
+	for _, obj := range objs {
+		sp := n.p.Primary(obj)
+		if sp >= len(peers) {
+			return total, fmt.Errorf("netnode: no address for primary site %d", sp)
+		}
+		for {
+			n.mu.Lock()
+			remaining := n.pending[obj]
+			n.mu.Unlock()
+			if remaining == 0 {
+				break
+			}
+			resp, err := n.call(peers[sp], message{Op: "update", Object: obj, From: n.site})
+			if err != nil {
+				break // still unreachable; keep the remainder queued
+			}
+			if !resp.OK {
+				return total, &ReplyError{Code: resp.Code, Msg: resp.Err}
+			}
+			cost := n.p.Size(obj)*n.p.Cost(n.site, sp) + resp.Cost
+			n.mu.Lock()
+			n.pending[obj]--
+			if n.pending[obj] == 0 {
+				delete(n.pending, obj)
+			}
+			n.ntc += cost
+			if n.holds[obj] && resp.Version > n.versions[obj] {
+				n.versions[obj] = resp.Version
+			}
+			n.mu.Unlock()
+			total += cost
+			if nm != nil {
+				nm.flushed(cost)
+			}
+		}
+	}
+	return total, nil
+}
+
+// call dials addr, sends one request and reads one reply, retrying
+// transport failures per the node's RetryPolicy with capped, jittered
+// exponential backoff. Protocol rejections are returned as replies, never
+// retried.
+func (n *Node) call(addr string, msg message) (reply, error) {
+	n.mu.Lock()
+	dial := n.dial
+	rp := n.retry
+	timeout := n.reqTimeout
+	nm := n.metrics
+	n.mu.Unlock()
+	attempts := rp.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if nm != nil {
+				nm.retry(msg.Op)
+			}
+			n.mu.Lock()
+			d := rp.backoff(a-1, n.rng)
+			n.mu.Unlock()
+			if d > 0 {
+				time.Sleep(d)
+			}
+		}
+		resp, err := callOnce(dial, addr, msg, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		if nm != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				nm.timeout(msg.Op)
+			}
+		}
+		lastErr = err
+	}
+	return reply{}, lastErr
+}
+
+// callOnce performs one dial + request + reply exchange with an optional
+// deadline covering the whole round trip.
+func callOnce(dial Dialer, addr string, msg message, timeout time.Duration) (reply, error) {
+	var conn net.Conn
+	var err error
+	if dial != nil {
+		conn, err = dial(addr)
+	} else if timeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return reply{}, fmt.Errorf("netnode: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
 	if err := json.NewEncoder(conn).Encode(msg); err != nil {
 		return reply{}, fmt.Errorf("netnode: send: %w", err)
 	}
@@ -420,4 +887,9 @@ func call(addr string, msg message) (reply, error) {
 		return reply{}, fmt.Errorf("netnode: recv: %w", err)
 	}
 	return resp, nil
+}
+
+// call is the coordinator-side one-shot exchange with no node state.
+func call(addr string, msg message) (reply, error) {
+	return callOnce(nil, addr, msg, 0)
 }

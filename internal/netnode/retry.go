@@ -1,0 +1,56 @@
+package netnode
+
+import (
+	"time"
+
+	"drp/internal/xrand"
+)
+
+// RetryPolicy caps transport-level retries with jittered exponential
+// backoff. Attempt a (0-based) sleeps Base·2^a, capped at Cap, with up to
+// Jitter·backoff of seeded random spread subtracted so synchronized
+// clients fan out. Only transport failures (dial errors, IO errors,
+// deadline misses) are retried; protocol rejections never are.
+type RetryPolicy struct {
+	// Attempts is the total number of tries; values ≤ 1 disable retrying.
+	Attempts int
+	// Base is the first backoff interval.
+	Base time.Duration
+	// Cap bounds the exponential growth (0 means no bound).
+	Cap time.Duration
+	// Jitter in [0,1] is the fraction of each backoff randomized away.
+	Jitter float64
+}
+
+// DefaultRetry is a conservative production-ish policy: three tries with
+// 2ms → 4ms backoff, half jittered.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{Attempts: 3, Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond, Jitter: 0.5}
+}
+
+// backoff returns the sleep before retry number attempt (0-based). The rng
+// feeds only the jitter; accounting never observes it.
+func (rp RetryPolicy) backoff(attempt int, rng *xrand.Source) time.Duration {
+	if rp.Base <= 0 {
+		return 0
+	}
+	d := rp.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if rp.Cap > 0 && d >= rp.Cap {
+			d = rp.Cap
+			break
+		}
+	}
+	if rp.Cap > 0 && d > rp.Cap {
+		d = rp.Cap
+	}
+	if rp.Jitter > 0 && rng != nil {
+		j := rp.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d -= time.Duration(j * rng.Float64() * float64(d))
+	}
+	return d
+}
