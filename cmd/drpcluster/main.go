@@ -8,9 +8,15 @@
 //	drpcluster -sites 20 -objects 60 -epochs 6 -policy agra+mini -drift 0.2
 //	drpcluster -policy none -fail-site 3 -fail-from 2 -fail-to 4
 //	drpcluster -fault-plan plan.json    # crash events become epoch outages
+//	drpcluster -data-dir /var/lib/drp   # journal the scheme, resume on rerun
 //
 // It prints one row per epoch: measured serving cost versus the analytic
 // model, migrations, failures and savings, then a one-line summary.
+//
+// With -data-dir the monitor journals its deployed scheme after every epoch
+// (see drp/internal/store.Journal); a rerun on the same directory starts
+// from the last recorded scheme instead of the greedy seed, so a monitor
+// killed between epochs loses no placement decision.
 //
 // Observability: -listen-metrics serves live Prometheus text at /metrics
 // (plus /debug/vars and /debug/pprof) while the simulation runs; -serve-for
@@ -28,11 +34,13 @@ import (
 
 	"drp/internal/agra"
 	"drp/internal/cluster"
+	"drp/internal/core"
 	"drp/internal/fault"
 	"drp/internal/gra"
 	"drp/internal/metrics"
 	"drp/internal/netnode"
 	"drp/internal/sra"
+	"drp/internal/store"
 	"drp/internal/workload"
 )
 
@@ -64,6 +72,10 @@ func run(args []string, stdout io.Writer) error {
 		faultPlan = fs.String("fault-plan", "", "derive site outages from this fault plan JSON (crash events map to epoch windows; other kinds are wire-level and ignored here)")
 		compare   = fs.Bool("compare", false, "run every policy on identical traffic and print a comparison table")
 
+		dataDir   = fs.String("data-dir", "", "journal the monitor's deployed scheme after every epoch to this directory; a rerun resumes from the last recorded scheme instead of re-seeding")
+		fsync     = fs.String("fsync", "always", `journal fsync policy: "always", "never" or "every:N" (requires -data-dir)`)
+		snapEvery = fs.Int("snapshot-every", 0, "compact the journal every N recorded epochs (0 = never; requires -data-dir)")
+
 		listenMetrics = fs.String("listen-metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
 		serveFor      = fs.Duration("serve-for", 0, "keep the metrics endpoint up this long after the run (0 = exit immediately)")
 		metricsOut    = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
@@ -91,6 +103,37 @@ func run(args []string, stdout io.Writer) error {
 	}
 	initial := sra.Run(p, sra.Options{}).Scheme
 
+	var journal *store.Journal
+	if *dataDir != "" {
+		if *compare {
+			return fmt.Errorf("-compare runs every policy on the same traffic and cannot journal a single scheme history; drop -data-dir")
+		}
+		syncPolicy, every, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		journal, err = store.OpenJournal(*dataDir, store.Options{
+			Sync:          syncPolicy,
+			SyncEvery:     every,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if epoch, repl, ok := journal.Latest(); ok {
+			resumed, err := schemeFromReplicators(p, repl)
+			if err != nil {
+				return fmt.Errorf("journal %s: %w", *dataDir, err)
+			}
+			initial = resumed
+			fmt.Fprintf(stdout, "resuming from journal: scheme of epoch %d (%d replicas)\n",
+				epoch, initial.TotalReplicas())
+		}
+	} else if *snapEvery > 0 {
+		return fmt.Errorf("-snapshot-every needs -data-dir")
+	}
+
 	graParams := gra.DefaultParams()
 	graParams.PopSize = 20
 	graParams.Generations = 20
@@ -109,6 +152,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *failSite >= 0 {
 		cfg.Failures = []cluster.Failure{{Site: *failSite, From: *failFrom, To: *failTo}}
+	}
+	if journal != nil {
+		cfg.OnEpoch = func(epoch int, scheme *core.Scheme, _ *cluster.EpochStats) error {
+			repl := make([][]int, p.Objects())
+			for k := range repl {
+				repl[k] = scheme.Replicators(k)
+			}
+			return journal.Record(epoch, repl)
+		}
 	}
 	if *faultPlan != "" {
 		plan, err := fault.LoadPlan(*faultPlan, p.Sites())
@@ -208,4 +260,29 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// schemeFromReplicators rebuilds a deployed scheme from the journal's
+// per-object replicator lists, validating against the current problem: a
+// journal recorded for a different workload shape is rejected rather than
+// silently mis-deployed.
+func schemeFromReplicators(p *core.Problem, repl [][]int) (*core.Scheme, error) {
+	if len(repl) != p.Objects() {
+		return nil, fmt.Errorf("recorded scheme covers %d objects, problem has %d", len(repl), p.Objects())
+	}
+	s := core.NewScheme(p)
+	for k, sites := range repl {
+		for _, i := range sites {
+			if i < 0 || i >= p.Sites() {
+				return nil, fmt.Errorf("recorded scheme places object %d at site %d, out of range", k, i)
+			}
+			if s.Has(i, k) {
+				continue // the primary, which NewScheme already placed
+			}
+			if err := s.Add(i, k); err != nil {
+				return nil, fmt.Errorf("recorded scheme places object %d at site %d: %w", k, i, err)
+			}
+		}
+	}
+	return s, nil
 }

@@ -193,6 +193,50 @@ func TestClusterCompareMode(t *testing.T) {
 	}
 }
 
+func TestClusterJournalResumes(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-sites", "8", "-objects", "12", "-epochs", "2", "-policy", "agra",
+		"-drift", "0.2", "-data-dir", dir, "-fsync", "never", "-snapshot-every", "4",
+	}
+
+	var first bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(first.String(), "resuming from journal") {
+		t.Fatalf("fresh run claimed to resume:\n%s", first.String())
+	}
+
+	// The rerun must start from the last recorded epoch's scheme, not the
+	// greedy seed.
+	var second bytes.Buffer
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "resuming from journal: scheme of epoch 1") {
+		t.Fatalf("rerun did not resume from the journal:\n%s", second.String())
+	}
+	if !strings.Contains(second.String(), "total NTC") {
+		t.Fatalf("resumed run incomplete:\n%s", second.String())
+	}
+}
+
+func TestClusterJournalFlagConflicts(t *testing.T) {
+	if err := run([]string{"-sites", "6", "-objects", "8", "-epochs", "1",
+		"-compare", "-data-dir", t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-compare with -data-dir accepted")
+	}
+	if err := run([]string{"-sites", "6", "-objects", "8", "-epochs", "1",
+		"-snapshot-every", "4"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-snapshot-every without -data-dir accepted")
+	}
+	if err := run([]string{"-sites", "6", "-objects", "8", "-epochs", "1",
+		"-data-dir", t.TempDir(), "-fsync", "sometimes"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+}
+
 func TestClusterFaultPlanMapsCrashesToEpochOutages(t *testing.T) {
 	plan := `{"seed":1,"events":[
 		{"kind":"crash","site":0,"step":1,"until":2},

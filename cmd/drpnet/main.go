@@ -9,6 +9,12 @@
 //	drpnet -sites 10 -objects 20                  # generate and run
 //	drpnet -in problem.json -algo gra -gens 30    # optimise then serve
 //	drpnet -fault-plan plan.json -retry 3 -req-timeout 2s   # chaos run
+//	drpnet -data-dir /var/lib/drp -fsync every:64 # durable sites
+//
+// With -data-dir every site's state (replica holdings, versions, stale
+// marks, queued writes, accounted NTC) lives in a per-site write-ahead
+// log under the directory; a rerun on the same directory replays the logs
+// and continues from the recovered state instead of re-seeding.
 //
 // With -fault-plan the measurement period is served under injected faults
 // (site crashes, link blackholes, latency spikes, message drops — see
@@ -33,6 +39,7 @@ import (
 	"drp/internal/fault"
 	"drp/internal/metrics"
 	"drp/internal/netnode"
+	"drp/internal/store"
 )
 
 func main() {
@@ -61,6 +68,10 @@ func run(args []string, stdout io.Writer) error {
 		faultPlan  = fs.String("fault-plan", "", "inject faults from this plan JSON (see internal/fault); degraded requests are reported, then queued writes flush and stale replicas reconcile")
 		retries    = fs.Int("retry", 1, "transport attempts per request (1 = no retrying)")
 		reqTimeout = fs.Duration("req-timeout", 0, "per-request deadline for dial plus round trip (0 = none)")
+
+		dataDir   = fs.String("data-dir", "", "persist each site's state to a write-ahead log under this directory; a rerun on the same directory recovers the deployed scheme, versions and queued writes from disk")
+		snapEvery = fs.Int("snapshot-every", 0, "snapshot each site's state and truncate its log every N appended records (0 = never; requires -data-dir)")
+		fsync     = fs.String("fsync", "always", `WAL fsync policy: "always", "never" or "every:N" (requires -data-dir)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,9 +115,39 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
-	cluster, err := netnode.StartLocal(p)
-	if err != nil {
-		return err
+	// The metrics registry is created before the cluster so durable stores
+	// can record drp_store_* counters from their very first replayed record.
+	var reg *metrics.Registry
+	if *listenMetrics != "" {
+		reg = metrics.NewRegistry()
+		netnode.RegisterMetricFamilies(reg)
+		store.RegisterMetricFamilies(reg)
+	}
+
+	var cluster *netnode.Cluster
+	if *dataDir != "" {
+		policy, every, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		cluster, err = netnode.StartDurable(p, *dataDir, store.Options{
+			Sync:          policy,
+			SyncEvery:     every,
+			SnapshotEvery: *snapEvery,
+			Metrics:       reg,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		if *snapEvery > 0 {
+			return fmt.Errorf("-snapshot-every needs -data-dir")
+		}
+		var err error
+		cluster, err = netnode.StartLocal(p)
+		if err != nil {
+			return err
+		}
 	}
 	defer cluster.Close()
 
@@ -119,9 +160,7 @@ func run(args []string, stdout io.Writer) error {
 		cluster.SetRequestTimeout(*reqTimeout)
 	}
 
-	if *listenMetrics != "" {
-		reg := metrics.NewRegistry()
-		netnode.RegisterMetricFamilies(reg)
+	if reg != nil {
 		cluster.EnableMetrics(reg)
 		srv, err := metrics.Serve(*listenMetrics, reg)
 		if err != nil {
@@ -136,6 +175,20 @@ func run(args []string, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "booted %d TCP sites on loopback (e.g. site 0 at %s)\n",
 		p.Sites(), cluster.Node(0).Addr())
+	if *dataDir != "" {
+		recovered := 0
+		for i := 0; i < cluster.Sites(); i++ {
+			if cluster.Node(i).Store().Recovered() {
+				recovered++
+			}
+		}
+		if recovered > 0 {
+			fmt.Fprintf(stdout, "recovered %d of %d sites from %s: %d replicas already deployed\n",
+				recovered, cluster.Sites(), *dataDir, cluster.Scheme().TotalReplicas())
+		} else {
+			fmt.Fprintf(stdout, "persisting to %s (fsync %s)\n", *dataDir, *fsync)
+		}
+	}
 
 	migration, err := cluster.Deploy(scheme)
 	if err != nil {

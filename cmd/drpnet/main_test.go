@@ -77,6 +77,49 @@ func TestNetRunFaultPlan(t *testing.T) {
 	}
 }
 
+func TestNetRunDurableRecovers(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-sites", "5", "-objects", "8",
+		"-data-dir", dir, "-fsync", "never", "-snapshot-every", "16"}
+
+	var first bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "persisting to "+dir) {
+		t.Fatalf("fresh run did not announce persistence:\n%s", first.String())
+	}
+	if !strings.Contains(first.String(), "model and wire agree exactly") {
+		t.Fatalf("model/wire mismatch:\n%s", first.String())
+	}
+
+	// A rerun on the same directory replays the WALs: the scheme is already
+	// deployed, so the redeploy migration is free.
+	var second bytes.Buffer
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "recovered 5 of 5 sites from "+dir) {
+		t.Fatalf("rerun did not recover from disk:\n%s", second.String())
+	}
+	if !strings.Contains(second.String(), "migration cost 0") {
+		t.Fatalf("recovered scheme was re-shipped:\n%s", second.String())
+	}
+	if !strings.Contains(second.String(), "model and wire agree exactly") {
+		t.Fatalf("model/wire mismatch after recovery:\n%s", second.String())
+	}
+}
+
+func TestNetRunBadDurableFlags(t *testing.T) {
+	if err := run([]string{"-sites", "4", "-objects", "6", "-snapshot-every", "8"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-snapshot-every without -data-dir accepted")
+	}
+	if err := run([]string{"-sites", "4", "-objects", "6",
+		"-data-dir", t.TempDir(), "-fsync", "sometimes"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+}
+
 func TestNetRunFaultPlanRejectsBadPlan(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "plan.json")
 	if err := os.WriteFile(path, []byte(`{"seed":1,"events":[{"kind":"crash","site":99,"step":1}]}`), 0o644); err != nil {

@@ -104,6 +104,11 @@ type Config struct {
 	Events *metrics.EventLog
 	// Seed makes runs reproducible.
 	Seed uint64
+	// OnEpoch, when non-nil, runs after every finished epoch with the
+	// scheme then in force and the epoch's stats. Durable monitors persist
+	// their placement decision here (see drp/internal/store.Journal); an
+	// error aborts the run. The scheme is a clone — the hook may retain it.
+	OnEpoch func(epoch int, scheme *core.Scheme, stats *EpochStats) error
 }
 
 func (cfg Config) validate(p *core.Problem) error {

@@ -61,6 +61,11 @@ func Run(p *core.Problem, initial *core.Scheme, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		res.Epochs = append(res.Epochs, *stats)
+		if cfg.OnEpoch != nil {
+			if err := cfg.OnEpoch(epoch, sim.scheme.Clone(), stats); err != nil {
+				return nil, fmt.Errorf("cluster: epoch hook: %w", err)
+			}
+		}
 	}
 	res.FinalScheme = sim.scheme
 	return res, nil

@@ -3,9 +3,12 @@ package netnode
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"drp/internal/core"
+	"drp/internal/metrics"
+	"drp/internal/store"
 	"drp/internal/xrand"
 )
 
@@ -23,6 +26,15 @@ type Cluster struct {
 	reqTimeout time.Duration // coordinator per-command deadline
 	rng        *xrand.Source // backoff jitter for coordinator retries
 	hook       func()        // called before every driven request
+
+	dataDir    string            // "" for a memory cluster
+	storeOpts  store.Options     // per-site store options (durable clusters)
+	metricsReg *metrics.Registry // re-applied to restarted nodes
+}
+
+// SiteDir returns the data directory of site i under a cluster root.
+func SiteDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("site-%03d", i))
 }
 
 // StartLocal boots one node per site on 127.0.0.1 ephemeral ports, wires
@@ -48,6 +60,109 @@ func StartLocal(p *core.Problem) (*Cluster, error) {
 		node.SetPeers(addrs)
 	}
 	return c, nil
+}
+
+// StartDurable boots one durable node per site, each opening — and
+// therefore replaying — a WAL-backed store in root/site-NNN. On a fresh
+// root this is StartLocal with persistence; on a root that has seen a
+// crash, every node restarts with exactly the state it had acknowledged,
+// and the coordinator's notion of the deployed scheme is reconstructed
+// from the recovered holdings so the next Deploy diffs against what the
+// disks actually hold.
+func StartDurable(p *core.Problem, root string, opts store.Options) (*Cluster, error) {
+	if root == "" {
+		return nil, errors.New("netnode: StartDurable needs a data directory")
+	}
+	c := &Cluster{
+		p:         p,
+		retry:     RetryPolicy{Attempts: 1},
+		rng:       xrand.New(0x10ad),
+		dataDir:   root,
+		storeOpts: opts,
+	}
+	addrs := make([]string, p.Sites())
+	for i := 0; i < p.Sites(); i++ {
+		st, err := store.Open(SiteDir(root, i), i, primaries(p), opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		node, err := ListenStore(p, i, "127.0.0.1:0", st)
+		if err != nil {
+			_ = st.Close()
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+		addrs[i] = node.Addr()
+	}
+	for _, node := range c.nodes {
+		node.SetPeers(addrs)
+	}
+	cur, err := c.recoveredScheme()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.current = cur
+	return c, nil
+}
+
+// recoveredScheme rebuilds the deployed scheme from the nodes' (possibly
+// replayed) holdings.
+func (c *Cluster) recoveredScheme() (*core.Scheme, error) {
+	cur := core.NewScheme(c.p)
+	for i, node := range c.nodes {
+		for k := 0; k < c.p.Objects(); k++ {
+			if !node.Holds(k) || cur.Has(i, k) {
+				continue
+			}
+			if err := cur.Add(i, k); err != nil {
+				return nil, fmt.Errorf("netnode: recovered holdings of site %d are inconsistent: object %d: %w", i, k, err)
+			}
+		}
+	}
+	return cur, nil
+}
+
+// RestartNode brings site i back after a Kill (or Close): its store is
+// reopened from the site's data directory — replaying the log — a fresh
+// listener starts, and every node's address table is rewired. The
+// cluster's retry policy, request timeout and metrics registry are
+// re-applied; fault middleware is not (re-Attach or re-register the new
+// address with the injector, since the injector middleware holds the old
+// dialer).
+func (c *Cluster) RestartNode(i int) (*Node, error) {
+	if c.dataDir == "" {
+		return nil, errors.New("netnode: RestartNode needs a durable cluster")
+	}
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("netnode: site %d out of range", i)
+	}
+	_ = c.nodes[i].Kill() // idempotent: a no-op after Kill or Close
+	st, err := store.Open(SiteDir(c.dataDir, i), i, primaries(c.p), c.storeOpts)
+	if err != nil {
+		return nil, err
+	}
+	node, err := ListenStore(c.p, i, "127.0.0.1:0", st)
+	if err != nil {
+		_ = st.Close()
+		return nil, err
+	}
+	node.SetRetry(c.retry)
+	node.SetRequestTimeout(c.reqTimeout)
+	if c.metricsReg != nil {
+		node.SetMetrics(c.metricsReg)
+	}
+	c.nodes[i] = node
+	addrs := make([]string, len(c.nodes))
+	for j, n := range c.nodes {
+		addrs[j] = n.Addr()
+	}
+	for _, n := range c.nodes {
+		n.SetPeers(addrs)
+	}
+	return node, nil
 }
 
 // Node returns the node for site i.

@@ -1,0 +1,165 @@
+package netnode
+
+import (
+	"bytes"
+	"testing"
+
+	"drp/internal/core"
+	"drp/internal/sra"
+	"drp/internal/store"
+)
+
+func startDurable(t *testing.T, p *core.Problem, root string, opts store.Options) *Cluster {
+	t.Helper()
+	c, err := StartDurable(p, root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// A durable cluster serves the measurement period at exactly eq. 4's cost,
+// like the memory cluster — the WAL must be invisible to the cost model.
+func TestDurableTrafficCostEqualsEq4(t *testing.T) {
+	p := gen(t, 4, 5, 0.2, 0.4, 31)
+	c := startDurable(t, p, t.TempDir(), testStoreOpts())
+	scheme := sra.Run(p, sra.Options{}).Scheme
+	if _, err := c.Deploy(scheme); err != nil {
+		t.Fatal(err)
+	}
+	total, err := c.DriveTraffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := scheme.Cost(); total != want {
+		t.Fatalf("durable TCP traffic cost %d != eq.4 D %d", total, want)
+	}
+}
+
+// testStoreOpts keeps durable tests fast: process kills lose nothing that
+// reached the OS, so SyncNever still exercises the full recovery path.
+func testStoreOpts() store.Options { return store.Options{Sync: store.SyncNever} }
+
+// Kill one node mid-cluster and restart it from its directory: the
+// recovered state must be byte-identical to what the node had acknowledged
+// at the instant of the kill, and the cluster must serve correctly again.
+func TestKillAndRestartRecoversNodeState(t *testing.T) {
+	p := gen(t, 4, 5, 0.2, 0.6, 32)
+	root := t.TempDir()
+	c := startDurable(t, p, root, testStoreOpts())
+	scheme := sra.Run(p, sra.Options{}).Scheme
+	if _, err := c.Deploy(scheme); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DriveTraffic(); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := 1
+	want := c.Node(victim).Store().EncodeState()
+	if err := c.Node(victim).Kill(); err != nil {
+		t.Fatal(err)
+	}
+	node, err := c.RestartNode(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !node.Store().Recovered() {
+		t.Fatal("restarted node found no durable state")
+	}
+	if got := node.Store().EncodeState(); !bytes.Equal(got, want) {
+		t.Fatalf("recovered state differs:\n got %s\nwant %s", got, want)
+	}
+	// The cluster serves the full period again at the model's exact cost
+	// (versions advance from the recovered stamps; cost is unaffected).
+	total, err := c.DriveTraffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := scheme.Cost(); total != want {
+		t.Fatalf("post-restart traffic cost %d != eq.4 D %d", total, want)
+	}
+}
+
+// Stop the whole cluster and reopen it from the same root: the deployed
+// scheme, versions and NTC must all come back from disk, and a redeploy of
+// the same scheme must be free (the diff is empty because the recovered
+// scheme matches).
+func TestClusterRestartRecoversSchemeAndVersions(t *testing.T) {
+	p := gen(t, 4, 5, 0.1, 0.8, 33)
+	root := t.TempDir()
+	scheme := sra.Run(p, sra.Options{}).Scheme
+
+	c := startDurable(t, p, root, testStoreOpts())
+	if _, err := c.Deploy(scheme); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DriveTraffic(); err != nil {
+		t.Fatal(err)
+	}
+	versions := make([]int64, p.Objects())
+	ntc := make([]int64, p.Sites())
+	for k := 0; k < p.Objects(); k++ {
+		versions[k] = c.Node(p.Primary(k)).Version(k)
+	}
+	for i := 0; i < p.Sites(); i++ {
+		ntc[i] = c.Node(i).NTC()
+	}
+	c.Close()
+
+	r := startDurable(t, p, root, testStoreOpts())
+	if !r.Scheme().Equal(scheme) {
+		t.Fatal("recovered scheme differs from the deployed one")
+	}
+	for k := 0; k < p.Objects(); k++ {
+		if got := r.Node(p.Primary(k)).Version(k); got != versions[k] {
+			t.Fatalf("object %d recovered at version %d, want %d", k, got, versions[k])
+		}
+	}
+	for i := 0; i < p.Sites(); i++ {
+		if got := r.Node(i).NTC(); got != ntc[i] {
+			t.Fatalf("site %d recovered NTC %d, want %d", i, got, ntc[i])
+		}
+	}
+	cost, err := r.Deploy(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("redeploying the recovered scheme cost %d, want 0", cost)
+	}
+}
+
+// Snapshots must be transparent: force one mid-run, keep writing, crash,
+// and recover the exact state from snapshot + tail segment.
+func TestSnapshotMidTrafficIsTransparent(t *testing.T) {
+	p := gen(t, 3, 4, 0.2, 0.8, 34)
+	root := t.TempDir()
+	c := startDurable(t, p, root, testStoreOpts())
+	scheme := sra.Run(p, sra.Options{}).Scheme
+	if _, err := c.Deploy(scheme); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DriveTraffic(); err != nil {
+		t.Fatal(err)
+	}
+	victim := 0
+	if err := c.Node(victim).Store().Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DriveTraffic(); err != nil { // post-snapshot delta
+		t.Fatal(err)
+	}
+	want := c.Node(victim).Store().EncodeState()
+	if err := c.Node(victim).Kill(); err != nil {
+		t.Fatal(err)
+	}
+	node, err := c.RestartNode(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := node.Store().EncodeState(); !bytes.Equal(got, want) {
+		t.Fatalf("snapshot+tail recovery differs:\n got %s\nwant %s", got, want)
+	}
+}

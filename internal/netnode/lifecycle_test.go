@@ -1,0 +1,179 @@
+package netnode
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"drp/internal/xrand"
+)
+
+// Regression: Close used to panic on the second call (unguarded
+// close(n.closed)). It must be idempotent, including concurrently and
+// when mixed with Kill.
+func TestCloseIdempotent(t *testing.T) {
+	p := gen(t, 2, 2, 0.05, 0.5, 21)
+	n, err := Listen(p, 0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("second Close errored: %v", err)
+	}
+
+	n2, err := Listen(p, 0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = n2.Close()
+		}()
+	}
+	wg.Wait()
+
+	n3, err := Listen(p, 1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n3.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n3.Close(); err != nil {
+		t.Fatalf("Close after Kill errored: %v", err)
+	}
+}
+
+// Property test for the backoff schedule over attempt ∈ [0, 64]: never
+// negative, never past the cap, monotone non-decreasing without jitter,
+// and positive whenever Base is. Attempt 62+ with Cap 0 used to overflow
+// the doubling into a negative sleep.
+func TestBackoffProperties(t *testing.T) {
+	policies := []RetryPolicy{
+		{Base: time.Millisecond},                              // uncapped: the overflow case
+		{Base: time.Millisecond, Cap: 50 * time.Millisecond},  // capped
+		{Base: time.Second, Cap: 0},                           // large base, uncapped
+		{Base: 3 * time.Nanosecond, Cap: 7 * time.Nanosecond}, // tiny, cap not a power of two
+		{Base: 0, Cap: time.Second},                           // zero base: always 0
+	}
+	for pi, rp := range policies {
+		prev := time.Duration(-1)
+		for attempt := 0; attempt <= 64; attempt++ {
+			d := rp.backoff(attempt, nil)
+			if d < 0 {
+				t.Fatalf("policy %d attempt %d: negative backoff %v", pi, attempt, d)
+			}
+			if rp.Cap > 0 && d > rp.Cap {
+				t.Fatalf("policy %d attempt %d: backoff %v exceeds cap %v", pi, attempt, d, rp.Cap)
+			}
+			if rp.Base > 0 && d == 0 {
+				t.Fatalf("policy %d attempt %d: zero backoff with positive base", pi, attempt)
+			}
+			if d < prev {
+				t.Fatalf("policy %d attempt %d: backoff %v < previous %v (not monotone)", pi, attempt, d, prev)
+			}
+			prev = d
+		}
+	}
+	// Jitter stays within [d·(1-j), d]: never negative, never above the
+	// unjittered schedule.
+	rng := xrand.New(99)
+	rp := RetryPolicy{Base: time.Millisecond, Jitter: 0.5}
+	for attempt := 0; attempt <= 64; attempt++ {
+		full := rp.backoff(attempt, nil)
+		got := rp.backoff(attempt, rng)
+		if got < 0 || got > full {
+			t.Fatalf("attempt %d: jittered backoff %v outside [0, %v]", attempt, got, full)
+		}
+		if full > 0 && got < full/2 {
+			t.Fatalf("attempt %d: jittered backoff %v below half of %v", attempt, got, full)
+		}
+	}
+}
+
+// Regression: error replies used to be written without a deadline, so a
+// client that sent garbage and never read could pin the handler (and
+// Close) forever. sendReply must give up once the timeout passes.
+func TestSendReplyHonoursDeadline(t *testing.T) {
+	p := gen(t, 2, 2, 0.05, 0.5, 22)
+	n, err := Listen(p, 0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetRequestTimeout(50 * time.Millisecond)
+
+	// net.Pipe is fully synchronous: a write blocks until the far end
+	// reads, which nothing ever does here. Only the deadline can free it.
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- n.sendReply(server, json.NewEncoder(server), reply{Code: CodeBadJSON, Err: "x"})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("reply write to a stalled client succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reply write to a stalled client never timed out")
+	}
+}
+
+// Oversized and malformed frames get a typed error reply (under the same
+// deadline as normal replies) and the connection closes.
+func TestServeRejectsBadFrames(t *testing.T) {
+	p := gen(t, 2, 2, 0.05, 0.5, 23)
+	n, err := Listen(p, 0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetRequestTimeout(time.Second)
+
+	// The oversized payload is sized to a multiple of the server's 4096-byte
+	// read buffer so every sent byte is consumed before the reply: unread
+	// bytes at close would RST the connection and could discard the reply.
+	tests := []struct {
+		name, payload, code string
+	}{
+		{"oversized", strings.Repeat("x", maxLineBytes+4096), CodeOversized},
+		{"malformed", "{not json}\n", CodeBadJSON},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", n.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			if _, err := conn.Write([]byte(tc.payload)); err != nil {
+				t.Fatal(err)
+			}
+			var resp reply
+			if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+				t.Fatalf("no error reply: %v", err)
+			}
+			if resp.OK || resp.Code != tc.code {
+				t.Fatalf("reply %+v, want code %q", resp, tc.code)
+			}
+			// The stream is no longer trusted: the server must close it.
+			if _, err := bufio.NewReader(conn).ReadByte(); err == nil {
+				t.Fatal("connection stayed open after a framing violation")
+			}
+		})
+	}
+}

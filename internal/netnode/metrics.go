@@ -130,8 +130,10 @@ func (n *Node) SetMetrics(reg *metrics.Registry) {
 	n.metrics = newNodeMetrics(reg)
 }
 
-// EnableMetrics attaches one shared registry to every node of the cluster.
+// EnableMetrics attaches one shared registry to every node of the cluster
+// (and to nodes later brought back by RestartNode).
 func (c *Cluster) EnableMetrics(reg *metrics.Registry) {
+	c.metricsReg = reg
 	for _, node := range c.nodes {
 		node.SetMetrics(reg)
 	}

@@ -22,6 +22,14 @@
 // primary queues the write locally (flushed with FlushPending), and a
 // partial broadcast marks the missed replicas stale at the primary for
 // later version reconciliation (the "reconcile" op).
+//
+// Site state lives in a drp/internal/store.Store — in-memory by default,
+// or backed by a write-ahead log and snapshots when the node is opened on
+// a data directory (ListenStore / StartDurable). In durable mode every
+// state change is appended to the log before the request is acknowledged,
+// so a node killed at any instant restarts from its directory (open →
+// replay → serve) with exactly the versions, stale marks, queued writes
+// and accounted NTC it had acknowledged.
 package netnode
 
 import (
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"drp/internal/core"
+	"drp/internal/store"
 	"drp/internal/xrand"
 )
 
@@ -71,12 +80,18 @@ const (
 	CodeBadSite    = "bad_site"
 	CodeNotPrimary = "not_primary"
 	CodeNotHolder  = "not_holder"
+	CodeStorage    = "storage"
 )
 
 // maxLineBytes caps one wire request line; longer lines are rejected with
 // CodeOversized and the connection is closed (the stream can no longer be
 // trusted to be framed).
 const maxLineBytes = 1 << 20
+
+// defaultReplyTimeout bounds reply writes when no per-request timeout is
+// configured, so a client that stops reading cannot pin a handler
+// goroutine (and therefore Close) forever.
+const defaultReplyTimeout = 5 * time.Second
 
 // errOversized is returned by readLine when the cap is exceeded.
 var errOversized = errors.New("netnode: request line exceeds limit")
@@ -114,67 +129,77 @@ type Dialer func(addr string) (net.Conn, error)
 // Node is one site: a TCP server plus the site-local replication state the
 // paper prescribes (its replica holdings, the nearest-replica record per
 // object, and — for objects primaried here — the full replication scheme).
+// The state itself lives in a store.Store: memory-backed by Listen,
+// WAL-backed by ListenStore.
 type Node struct {
 	p    *core.Problem
 	site int
 	ln   net.Listener
+	st   *store.Store
 
-	mu       sync.Mutex
-	holds    map[int]bool
-	versions map[int]int64        // version of each locally held replica
-	nearest  []int                // SN_k(site): where this site sends reads for k
-	replicas [][]int              // R_k as last pushed by the coordinator
-	registry [][]int              // for objects primaried here: the replicator list
-	stale    map[int]map[int]bool // primary only: replicas that missed a sync
-	pending  map[int]int          // writes queued while the primary was unreachable
-	peers    []string
-	ntc      int64        // transfer cost charged to this node's activities
-	metrics  *nodeMetrics // telemetry instruments; nil when disabled
+	mu      sync.Mutex
+	peers   []string
+	metrics *nodeMetrics // telemetry instruments; nil when disabled
 
 	dial       Dialer
 	retry      RetryPolicy
 	reqTimeout time.Duration
 	rng        *xrand.Source // backoff jitter only; never touches accounting
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// Listen starts a node for the given site on addr (use "127.0.0.1:0" for
-// an ephemeral port). The node initially holds exactly the objects
-// primaried at it; peers must be wired with SetPeers before serving
-// remote traffic.
+// primaries returns the primary site of every object, the store's
+// bootstrap parameter.
+func primaries(p *core.Problem) []int {
+	out := make([]int, p.Objects())
+	for k := range out {
+		out[k] = p.Primary(k)
+	}
+	return out
+}
+
+// Listen starts a memory-backed node for the given site on addr (use
+// "127.0.0.1:0" for an ephemeral port). The node initially holds exactly
+// the objects primaried at it; peers must be wired with SetPeers before
+// serving remote traffic.
 func Listen(p *core.Problem, site int, addr string) (*Node, error) {
 	if site < 0 || site >= p.Sites() {
 		return nil, fmt.Errorf("netnode: site %d out of range", site)
+	}
+	return ListenStore(p, site, addr, store.Memory(site, primaries(p)))
+}
+
+// ListenStore starts a node whose state lives in st — typically a durable
+// store opened (and therefore replayed) from the site's data directory.
+// The lifecycle is open → replay → serve: by the time the listener accepts
+// its first connection the state is exactly what the log prescribes.
+func ListenStore(p *core.Problem, site int, addr string, st *store.Store) (*Node, error) {
+	if site < 0 || site >= p.Sites() {
+		return nil, fmt.Errorf("netnode: site %d out of range", site)
+	}
+	if st == nil {
+		return nil, errors.New("netnode: nil store")
+	}
+	if st.Site() != site || st.Objects() != p.Objects() {
+		return nil, fmt.Errorf("netnode: store is for site %d with %d objects, node wants site %d with %d",
+			st.Site(), st.Objects(), site, p.Objects())
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netnode: listen: %w", err)
 	}
 	n := &Node{
-		p:        p,
-		site:     site,
-		ln:       ln,
-		holds:    make(map[int]bool),
-		versions: make(map[int]int64),
-		nearest:  make([]int, p.Objects()),
-		replicas: make([][]int, p.Objects()),
-		registry: make([][]int, p.Objects()),
-		stale:    make(map[int]map[int]bool),
-		pending:  make(map[int]int),
-		retry:    RetryPolicy{Attempts: 1},
-		rng:      xrand.New(uint64(site) + 1),
-		closed:   make(chan struct{}),
-	}
-	for k := 0; k < p.Objects(); k++ {
-		sp := p.Primary(k)
-		n.nearest[k] = sp
-		n.replicas[k] = []int{sp}
-		if sp == site {
-			n.holds[k] = true
-			n.registry[k] = []int{site}
-		}
+		p:      p,
+		site:   site,
+		ln:     ln,
+		st:     st,
+		retry:  RetryPolicy{Attempts: 1},
+		rng:    xrand.New(uint64(site) + 1),
+		closed: make(chan struct{}),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -186,6 +211,9 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 
 // Site returns the node's site index.
 func (n *Node) Site() int { return n.site }
+
+// Store returns the node's state store.
+func (n *Node) Store() *store.Store { return n.st }
 
 // SetPeers wires the full address table (indexed by site).
 func (n *Node) SetPeers(addrs []string) {
@@ -210,8 +238,9 @@ func (n *Node) SetRetry(rp RetryPolicy) {
 	n.retry = rp
 }
 
-// SetRequestTimeout bounds each outbound call (dial plus round trip);
-// 0 disables the deadline.
+// SetRequestTimeout bounds each outbound call (dial plus round trip) and
+// each reply write; 0 disables the outbound deadline (reply writes then
+// fall back to a conservative default).
 func (n *Node) SetRequestTimeout(d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -222,52 +251,54 @@ func (n *Node) SetRequestTimeout(d time.Duration) {
 // count the writes the primary has serialised; the primary-copy protocol
 // guarantees replicas converge to the primary's version once broadcasts
 // complete (or, after a partial broadcast, once reconciliation runs).
-func (n *Node) Version(k int) int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.versions[k]
-}
+func (n *Node) Version(k int) int64 { return n.st.Version(k) }
 
 // NTC returns the transfer cost accounted to this node so far.
-func (n *Node) NTC() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.ntc
-}
+func (n *Node) NTC() int64 { return n.st.NTC() }
 
 // Holds reports whether the node currently stores object k.
-func (n *Node) Holds(k int) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.holds[k]
-}
+func (n *Node) Holds(k int) bool { return n.st.Holds(k) }
 
 // PendingWrites returns the number of writes queued locally because the
 // primary was unreachable when they were issued.
-func (n *Node) PendingWrites() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	total := 0
-	for _, c := range n.pending {
-		total += c
-	}
-	return total
-}
+func (n *Node) PendingWrites() int { return n.st.TotalPending() }
 
 // StaleReplicas returns, for an object primaried at this node, the sites
 // that missed a sync broadcast and still await reconciliation.
-func (n *Node) StaleReplicas(k int) []int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return sortedSites(n.stale[k])
+func (n *Node) StaleReplicas(k int) []int { return n.st.StaleSites(k) }
+
+// Close shuts the listener down, waits for in-flight handlers and closes
+// the store (flushing its log). Close is idempotent: concurrent or
+// repeated calls all return the first outcome.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		err := n.ln.Close()
+		n.wg.Wait()
+		if serr := n.st.Close(); err == nil {
+			err = serr
+		}
+		n.closeErr = err
+	})
+	return n.closeErr
 }
 
-// Close shuts the listener down and waits for in-flight handlers.
-func (n *Node) Close() error {
-	close(n.closed)
-	err := n.ln.Close()
-	n.wg.Wait()
-	return err
+// Kill crash-stops the node: the listener closes and the store's log is
+// abandoned without a flush or snapshot — the SIGKILL-equivalent stop.
+// A node restarted from the same data directory recovers purely by
+// replay. Kill and Close share the once-guard, so either may follow the
+// other harmlessly.
+func (n *Node) Kill() error {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		err := n.ln.Close()
+		n.wg.Wait()
+		if serr := n.st.Crash(); err == nil {
+			err = serr
+		}
+		n.closeErr = err
+	})
+	return n.closeErr
 }
 
 func (n *Node) acceptLoop() {
@@ -296,6 +327,29 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// replyTimeout bounds one reply write: the configured request timeout, or
+// a conservative default so no reply write can stall unboundedly.
+func (n *Node) replyTimeout() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.reqTimeout > 0 {
+		return n.reqTimeout
+	}
+	return defaultReplyTimeout
+}
+
+// sendReply writes one reply under a write deadline. Error replies and
+// normal replies get the same treatment: a stalled client makes the write
+// miss its deadline and the connection dies, instead of pinning the
+// handler goroutine past Close.
+func (n *Node) sendReply(conn net.Conn, enc *json.Encoder, resp reply) error {
+	if d := n.replyTimeout(); d > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(d))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return enc.Encode(resp)
+}
+
 // serve handles one connection: a sequence of JSON-line requests. Framing
 // violations (oversized or malformed lines) get a typed error reply and
 // close the connection, since the stream can no longer be trusted.
@@ -306,7 +360,7 @@ func (n *Node) serve(conn net.Conn) {
 	for {
 		line, err := readLine(r, maxLineBytes)
 		if err == errOversized {
-			_ = enc.Encode(reply{Code: CodeOversized, Err: "request line exceeds limit"})
+			_ = n.sendReply(conn, enc, reply{Code: CodeOversized, Err: "request line exceeds limit"})
 			return
 		}
 		if err != nil {
@@ -317,11 +371,11 @@ func (n *Node) serve(conn net.Conn) {
 		}
 		var msg message
 		if err := json.Unmarshal(line, &msg); err != nil {
-			_ = enc.Encode(reply{Code: CodeBadJSON, Err: fmt.Sprintf("malformed request: %v", err)})
+			_ = n.sendReply(conn, enc, reply{Code: CodeBadJSON, Err: fmt.Sprintf("malformed request: %v", err)})
 			return
 		}
 		resp := n.handle(msg)
-		if err := enc.Encode(resp); err != nil {
+		if err := n.sendReply(conn, enc, resp); err != nil {
 			return
 		}
 	}
@@ -350,6 +404,12 @@ func readLine(r *bufio.Reader, max int) ([]byte, error) {
 	}
 }
 
+// storageReply converts a store append failure into a typed rejection: the
+// mutation was NOT acknowledged, because it never reached the log.
+func storageReply(err error) reply {
+	return reply{Code: CodeStorage, Err: fmt.Sprintf("storage: %v", err)}
+}
+
 func (n *Node) handle(msg message) reply {
 	n.mu.Lock()
 	nm := n.metrics
@@ -364,10 +424,7 @@ func (n *Node) handle(msg message) reply {
 	case "read":
 		// A remote site reads from us; we must hold a replica. The reply
 		// carries the replica's version so staleness is observable.
-		n.mu.Lock()
-		holds := n.holds[msg.Object]
-		version := n.versions[msg.Object]
-		n.mu.Unlock()
+		holds, version := n.st.Replica(msg.Object)
 		if !holds {
 			return reply{Code: CodeNotHolder, Err: fmt.Sprintf("site %d does not hold object %d", n.site, msg.Object)}
 		}
@@ -376,14 +433,15 @@ func (n *Node) handle(msg message) reply {
 	case "update":
 		// A writer ships a new version to us — the primary — and we
 		// broadcast it to every other replicator. Unreachable replicators
-		// are marked stale instead of failing the write.
+		// are marked stale instead of failing the write. The version stamp
+		// hits the log before anything is acknowledged or broadcast.
 		if n.p.Primary(msg.Object) != n.site {
 			return reply{Code: CodeNotPrimary, Err: fmt.Sprintf("site %d is not the primary of object %d", n.site, msg.Object)}
 		}
-		n.mu.Lock()
-		n.versions[msg.Object]++
-		version := n.versions[msg.Object]
-		n.mu.Unlock()
+		version, err := n.st.BumpVersion(msg.Object)
+		if err != nil {
+			return storageReply(err)
+		}
 		cost, stale, err := n.broadcast(msg.Object, msg.From, version)
 		if err != nil {
 			return errorReply(err)
@@ -392,40 +450,32 @@ func (n *Node) handle(msg message) reply {
 
 	case "sync":
 		// The primary pushes a fresh version of an object we replicate.
-		n.mu.Lock()
-		holds := n.holds[msg.Object]
-		if holds && msg.Version > n.versions[msg.Object] {
-			n.versions[msg.Object] = msg.Version
+		held, _, err := n.st.AdoptVersion(msg.Object, msg.Version)
+		if err != nil {
+			return storageReply(err)
 		}
-		n.mu.Unlock()
-		if !holds {
+		if !held {
 			return reply{Code: CodeNotHolder, Err: fmt.Sprintf("sync for object %d not replicated at site %d", msg.Object, n.site)}
 		}
 		return reply{OK: true}
 
 	case "place":
-		n.mu.Lock()
-		n.holds[msg.Object] = true
-		n.versions[msg.Object] = msg.Version
-		n.nearest[msg.Object] = n.site
-		n.mu.Unlock()
+		if err := n.st.Place(msg.Object, msg.Version); err != nil {
+			return storageReply(err)
+		}
 		return reply{OK: true}
 
 	case "drop":
 		if n.p.Primary(msg.Object) == n.site {
 			return reply{Code: CodeNotPrimary, Err: "cannot drop a primary copy"}
 		}
-		n.mu.Lock()
-		delete(n.holds, msg.Object)
-		delete(n.versions, msg.Object)
-		n.mu.Unlock()
+		if err := n.st.Drop(msg.Object); err != nil {
+			return storageReply(err)
+		}
 		return reply{OK: true}
 
 	case "version":
-		n.mu.Lock()
-		version := n.versions[msg.Object]
-		holds := n.holds[msg.Object]
-		n.mu.Unlock()
+		holds, version := n.st.Replica(msg.Object)
 		if !holds {
 			return reply{Code: CodeNotHolder, Err: fmt.Sprintf("site %d does not hold object %d", n.site, msg.Object)}
 		}
@@ -434,27 +484,17 @@ func (n *Node) handle(msg message) reply {
 	case "registry":
 		// The coordinator updates the primary's replicator list. Stale
 		// marks for sites no longer replicating the object are dropped —
-		// there is nothing left to reconcile at them.
+		// there is nothing left to reconcile at them. One log record
+		// covers both (store.SetRegistry).
 		if n.p.Primary(msg.Object) != n.site {
 			return reply{Code: CodeNotPrimary, Err: "registry update sent to a non-primary"}
 		}
 		if code, err := checkSites(msg.Sites, n.p.Sites()); err != nil {
 			return reply{Code: code, Err: err.Error()}
 		}
-		n.mu.Lock()
-		n.registry[msg.Object] = append([]int(nil), msg.Sites...)
-		if marks := n.stale[msg.Object]; marks != nil {
-			keep := make(map[int]bool, len(msg.Sites))
-			for _, j := range msg.Sites {
-				keep[j] = true
-			}
-			for j := range marks {
-				if !keep[j] {
-					delete(marks, j)
-				}
-			}
+		if err := n.st.SetRegistry(msg.Object, msg.Sites); err != nil {
+			return storageReply(err)
 		}
-		n.mu.Unlock()
 		return reply{OK: true}
 
 	case "replicas":
@@ -463,18 +503,18 @@ func (n *Node) handle(msg message) reply {
 		if code, err := checkSites(msg.Sites, n.p.Sites()); err != nil {
 			return reply{Code: code, Err: err.Error()}
 		}
-		n.mu.Lock()
-		n.replicas[msg.Object] = append([]int(nil), msg.Sites...)
-		n.mu.Unlock()
+		if err := n.st.SetReplicas(msg.Object, msg.Sites); err != nil {
+			return storageReply(err)
+		}
 		return reply{OK: true}
 
 	case "nearest":
 		if msg.Site < 0 || msg.Site >= n.p.Sites() {
 			return reply{Code: CodeBadSite, Err: "nearest site out of range"}
 		}
-		n.mu.Lock()
-		n.nearest[msg.Object] = msg.Site
-		n.mu.Unlock()
+		if err := n.st.SetNearest(msg.Object, msg.Site); err != nil {
+			return storageReply(err)
+		}
 		return reply{OK: true}
 
 	case "reconcile":
@@ -485,7 +525,10 @@ func (n *Node) handle(msg message) reply {
 		if n.p.Primary(msg.Object) != n.site {
 			return reply{Code: CodeNotPrimary, Err: "reconcile sent to a non-primary"}
 		}
-		cost, remaining := n.reconcile(msg.Object)
+		cost, remaining, err := n.reconcile(msg.Object)
+		if err != nil {
+			return errorReply(err)
+		}
 		return reply{OK: true, Cost: cost, Stale: remaining}
 
 	default:
@@ -516,10 +559,11 @@ func errorReply(err error) reply {
 // broadcast pushes the updated object to every replicator except the
 // writer and the primary itself. Replicators that cannot be reached are
 // marked stale for later reconciliation instead of failing the write; the
-// returned cost covers only the syncs that landed.
+// returned cost covers only the syncs that landed. Stale marks hit the
+// log before the write is acknowledged.
 func (n *Node) broadcast(obj, writer int, version int64) (int64, []int, error) {
+	targets := n.st.Registry(obj)
 	n.mu.Lock()
-	targets := append([]int(nil), n.registry[obj]...)
 	peers := n.peers
 	nm := n.metrics
 	n.mu.Unlock()
@@ -541,10 +585,14 @@ func (n *Node) broadcast(obj, writer int, version int64) (int64, []int, error) {
 			return 0, nil, &ReplyError{Code: resp.Code, Msg: fmt.Sprintf("sync to site %d: %s", j, resp.Err)}
 		}
 		cost += n.p.Size(obj) * n.p.Cost(n.site, j)
-		n.clearStale(obj, j)
+		if err := n.st.ClearStale(obj, j); err != nil {
+			return 0, nil, err
+		}
 	}
 	if len(missed) > 0 {
-		n.markStale(obj, missed)
+		if err := n.st.MarkStale(obj, missed); err != nil {
+			return 0, nil, err
+		}
 		if nm != nil {
 			nm.degraded("broadcast_partial")
 		}
@@ -552,34 +600,13 @@ func (n *Node) broadcast(obj, writer int, version int64) (int64, []int, error) {
 	return cost, missed, nil
 }
 
-func (n *Node) markStale(obj int, sites []int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	marks := n.stale[obj]
-	if marks == nil {
-		marks = make(map[int]bool)
-		n.stale[obj] = marks
-	}
-	for _, j := range sites {
-		marks[j] = true
-	}
-}
-
-func (n *Node) clearStale(obj, site int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if marks := n.stale[obj]; marks != nil {
-		delete(marks, site)
-	}
-}
-
 // reconcile re-syncs the stale replicas of an object primaried here,
 // returning the transfer cost of the copies that shipped and the sites
 // that remain unreachable.
-func (n *Node) reconcile(obj int) (int64, []int) {
+func (n *Node) reconcile(obj int) (int64, []int, error) {
+	targets := n.st.StaleSites(obj)
+	version := n.st.Version(obj)
 	n.mu.Lock()
-	targets := sortedSites(n.stale[obj])
-	version := n.versions[obj]
 	peers := n.peers
 	n.mu.Unlock()
 	var cost int64
@@ -595,21 +622,11 @@ func (n *Node) reconcile(obj int) (int64, []int) {
 			continue
 		}
 		cost += n.p.Size(obj) * n.p.Cost(n.site, j)
-		n.clearStale(obj, j)
+		if err := n.st.ClearStale(obj, j); err != nil {
+			return cost, remaining, err
+		}
 	}
-	return cost, remaining
-}
-
-func sortedSites(set map[int]bool) []int {
-	if len(set) == 0 {
-		return nil
-	}
-	out := make([]int, 0, len(set))
-	for j := range set {
-		out = append(out, j)
-	}
-	sort.Ints(out)
-	return out
+	return cost, remaining, nil
 }
 
 // readCandidates returns the replicas to try for a read of obj, nearest
@@ -643,10 +660,10 @@ func (n *Node) Read(obj int) (int64, error) {
 	if obj < 0 || obj >= n.p.Objects() {
 		return 0, fmt.Errorf("netnode: object %d out of range", obj)
 	}
+	local := n.st.Holds(obj)
+	target := n.st.Nearest(obj)
+	replicas := n.st.Replicas(obj)
 	n.mu.Lock()
-	local := n.holds[obj]
-	target := n.nearest[obj]
-	replicas := n.replicas[obj]
 	peers := n.peers
 	nm := n.metrics
 	n.mu.Unlock()
@@ -674,9 +691,9 @@ func (n *Node) Read(obj int) (int64, error) {
 			return 0, &ReplyError{Code: resp.Code, Msg: resp.Err}
 		}
 		cost := n.p.Size(obj) * n.p.Cost(n.site, j)
-		n.mu.Lock()
-		n.ntc += cost
-		n.mu.Unlock()
+		if err := n.st.AddNTC(cost); err != nil {
+			return 0, err
+		}
 		if nm != nil {
 			nm.read(false, cost, time.Since(start))
 			if idx > 0 {
@@ -699,7 +716,8 @@ func (n *Node) Read(obj int) (int64, error) {
 // ones are marked stale at the primary rather than failing the write).
 // Returns the total transfer cost (shipping plus the successful part of
 // the broadcast). When the primary itself is unreachable the write is
-// queued locally and ErrWriteQueued is returned; FlushPending retries it.
+// queued locally — durably, in durable mode — and ErrWriteQueued is
+// returned; FlushPending retries it.
 func (n *Node) Write(obj int) (int64, error) {
 	start := time.Now()
 	if obj < 0 || obj >= n.p.Objects() {
@@ -712,10 +730,10 @@ func (n *Node) Write(obj int) (int64, error) {
 	var cost int64
 	if sp == n.site {
 		// Local primary: no shipping; bump the version and broadcast.
-		n.mu.Lock()
-		n.versions[obj]++
-		version := n.versions[obj]
-		n.mu.Unlock()
+		version, err := n.st.BumpVersion(obj)
+		if err != nil {
+			return 0, err
+		}
 		bcast, _, err := n.broadcast(obj, n.site, version)
 		if err != nil {
 			return 0, err
@@ -731,10 +749,11 @@ func (n *Node) Write(obj int) (int64, error) {
 		resp, err := n.call(peers[sp], message{Op: "update", Object: obj, From: n.site})
 		if err != nil {
 			// Primary unreachable: queue-and-flag. The write is not lost —
+			// it is logged before ErrWriteQueued is returned, and
 			// FlushPending replays it once the primary is back.
-			n.mu.Lock()
-			n.pending[obj]++
-			n.mu.Unlock()
+			if qerr := n.st.Queue(obj); qerr != nil {
+				return 0, qerr
+			}
 			if nm != nil {
 				nm.degraded("write_queued")
 			}
@@ -746,15 +765,13 @@ func (n *Node) Write(obj int) (int64, error) {
 		cost = n.p.Size(obj)*n.p.Cost(n.site, sp) + resp.Cost
 		// The broadcast skips the writer (it produced the new version), so
 		// a writer that is itself a replicator adopts the version locally.
-		n.mu.Lock()
-		if n.holds[obj] && resp.Version > n.versions[obj] {
-			n.versions[obj] = resp.Version
+		if _, _, err := n.st.AdoptVersion(obj, resp.Version); err != nil {
+			return 0, err
 		}
-		n.mu.Unlock()
 	}
-	n.mu.Lock()
-	n.ntc += cost
-	n.mu.Unlock()
+	if err := n.st.AddNTC(cost); err != nil {
+		return 0, err
+	}
 	if nm != nil {
 		nm.write(sp == n.site, cost, time.Since(start))
 	}
@@ -766,13 +783,8 @@ func (n *Node) Write(obj int) (int64, error) {
 // primary is still unreachable stay queued; the first such stall stops
 // flushing that object and moves on to the next.
 func (n *Node) FlushPending() (int64, error) {
+	objs := n.st.PendingObjects()
 	n.mu.Lock()
-	objs := make([]int, 0, len(n.pending))
-	for k, c := range n.pending {
-		if c > 0 {
-			objs = append(objs, k)
-		}
-	}
 	peers := n.peers
 	nm := n.metrics
 	n.mu.Unlock()
@@ -783,13 +795,7 @@ func (n *Node) FlushPending() (int64, error) {
 		if sp >= len(peers) {
 			return total, fmt.Errorf("netnode: no address for primary site %d", sp)
 		}
-		for {
-			n.mu.Lock()
-			remaining := n.pending[obj]
-			n.mu.Unlock()
-			if remaining == 0 {
-				break
-			}
+		for n.st.PendingCount(obj) > 0 {
 			resp, err := n.call(peers[sp], message{Op: "update", Object: obj, From: n.site})
 			if err != nil {
 				break // still unreachable; keep the remainder queued
@@ -798,16 +804,15 @@ func (n *Node) FlushPending() (int64, error) {
 				return total, &ReplyError{Code: resp.Code, Msg: resp.Err}
 			}
 			cost := n.p.Size(obj)*n.p.Cost(n.site, sp) + resp.Cost
-			n.mu.Lock()
-			n.pending[obj]--
-			if n.pending[obj] == 0 {
-				delete(n.pending, obj)
+			if err := n.st.Dequeue(obj); err != nil {
+				return total, err
 			}
-			n.ntc += cost
-			if n.holds[obj] && resp.Version > n.versions[obj] {
-				n.versions[obj] = resp.Version
+			if err := n.st.AddNTC(cost); err != nil {
+				return total, err
 			}
-			n.mu.Unlock()
+			if _, _, err := n.st.AdoptVersion(obj, resp.Version); err != nil {
+				return total, err
+			}
 			total += cost
 			if nm != nil {
 				nm.flushed(cost)

@@ -22,6 +22,10 @@ type RetryPolicy struct {
 	Jitter float64
 }
 
+// maxBackoff saturates the exponential growth when Cap is 0 ("no bound"):
+// the doubling loop must never overflow into a negative Duration.
+const maxBackoff = time.Duration(1<<63 - 1)
+
 // DefaultRetry is a conservative production-ish policy: three tries with
 // 2ms → 4ms backoff, half jittered.
 func DefaultRetry() RetryPolicy {
@@ -36,6 +40,12 @@ func (rp RetryPolicy) backoff(attempt int, rng *xrand.Source) time.Duration {
 	}
 	d := rp.Base
 	for i := 0; i < attempt; i++ {
+		if d > maxBackoff/2 {
+			// Doubling again would overflow time.Duration (and no caller
+			// wants a negative sleep); saturate instead.
+			d = maxBackoff
+			break
+		}
 		d *= 2
 		if rp.Cap > 0 && d >= rp.Cap {
 			d = rp.Cap

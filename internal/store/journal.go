@@ -1,0 +1,165 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal is the coordinator's durable placement log: one entry per epoch
+// recording the deployed replication scheme, so a monitor killed between
+// epochs restarts from its last decision instead of re-seeding. Entries
+// are self-contained (latest wins), which keeps the compaction protocol a
+// single snapshot-then-truncate with no segment bookkeeping: replaying a
+// stale record under a newer snapshot is a no-op.
+type Journal struct {
+	mu      sync.Mutex
+	dir     string
+	w       *wal
+	obs     *instruments
+	snapN   int
+	appends int
+	closed  bool
+
+	epoch       int
+	replicators [][]int // latest recorded scheme, per object
+}
+
+// journalEntry is one record (and the snapshot payload): the scheme after
+// an epoch, as per-object replicator lists.
+type journalEntry struct {
+	Epoch       int     `json:"epoch"`
+	Replicators [][]int `json:"replicators"`
+}
+
+// OpenJournal opens (or creates) the placement journal in dir. SnapshotEvery
+// compacts the log every that many recorded epochs.
+func OpenJournal(dir string, opts Options) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	j := &Journal{
+		dir:   dir,
+		obs:   newInstruments(opts.Metrics),
+		snapN: opts.SnapshotEvery,
+		epoch: -1,
+	}
+	if payload, err := readSnapshotFile(j.snapFile()); err == nil {
+		if err := j.applyPayload(payload); err != nil {
+			return nil, fmt.Errorf("store: journal snapshot: %w", err)
+		}
+	}
+	every := opts.SyncEvery
+	if opts.Sync == SyncInterval && every <= 0 {
+		every = 64
+	}
+	w, err := openWAL(j.logFile(), opts.Sync, every, j.obs, j.applyPayload)
+	if err != nil {
+		return nil, err
+	}
+	j.w = w
+	return j, nil
+}
+
+func (j *Journal) logFile() string  { return filepath.Join(j.dir, "journal.log") }
+func (j *Journal) snapFile() string { return filepath.Join(j.dir, "journal.snap") }
+
+func (j *Journal) applyPayload(payload []byte) error {
+	var e journalEntry
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return fmt.Errorf("%w: %v", errCorruptRecord, err)
+	}
+	if e.Epoch >= j.epoch { // stale replays under a newer snapshot are no-ops
+		j.epoch = e.Epoch
+		j.replicators = e.Replicators
+	}
+	return nil
+}
+
+// Latest returns the most recent recorded epoch and its per-object
+// replicator lists; ok is false when the journal holds nothing yet.
+func (j *Journal) Latest() (epoch int, replicators [][]int, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.epoch < 0 {
+		return 0, nil, false
+	}
+	out := make([][]int, len(j.replicators))
+	for k, sites := range j.replicators {
+		out[k] = append([]int(nil), sites...)
+	}
+	return j.epoch, out, true
+}
+
+// Record appends one epoch's deployed scheme, compacting per SnapshotEvery.
+func (j *Journal) Record(epoch int, replicators [][]int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	payload, err := json.Marshal(journalEntry{Epoch: epoch, Replicators: replicators})
+	if err != nil {
+		return fmt.Errorf("store: journal encode: %w", err)
+	}
+	if err := j.w.append(payload); err != nil {
+		return err
+	}
+	if epoch >= j.epoch {
+		j.epoch = epoch
+		j.replicators = make([][]int, len(replicators))
+		for k, sites := range replicators {
+			j.replicators[k] = append([]int(nil), sites...)
+		}
+	}
+	j.appends++
+	if j.snapN > 0 && j.appends >= j.snapN {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked snapshots the latest entry and truncates the log. Crash
+// windows: before the rename the old snapshot+log pair still recovers;
+// after the rename but before the truncate the log replays entries the
+// snapshot already covers, which latest-wins absorbs.
+func (j *Journal) compactLocked() error {
+	payload, err := json.Marshal(journalEntry{Epoch: j.epoch, Replicators: j.replicators})
+	if err != nil {
+		return fmt.Errorf("store: journal encode: %w", err)
+	}
+	n, err := writeSnapshotFile(j.snapFile(), payload)
+	if err != nil {
+		return err
+	}
+	if j.obs != nil {
+		j.obs.snapshots.Inc()
+		j.obs.snapshotBytes.Add(n)
+		j.obs.fsyncs.Inc()
+	}
+	if err := j.w.f.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("store: journal truncate: %w", err)
+	}
+	if _, err := j.w.f.Seek(int64(len(walMagic)), 0); err != nil {
+		return fmt.Errorf("store: journal seek: %w", err)
+	}
+	j.w.size = int64(len(walMagic))
+	if j.obs != nil {
+		j.obs.truncations.Inc()
+	}
+	j.appends = 0
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.w.close()
+}

@@ -1,0 +1,39 @@
+package store
+
+import "drp/internal/metrics"
+
+// instruments caches the drp_store_* counter handles. All stores of a
+// process share one registry, so the families aggregate across sites,
+// matching the drp_net_* convention.
+type instruments struct {
+	appends       *metrics.Counter
+	fsyncs        *metrics.Counter
+	replayed      *metrics.Counter
+	snapshots     *metrics.Counter
+	snapshotBytes *metrics.Counter
+	truncations   *metrics.Counter
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	if reg == nil {
+		return nil
+	}
+	return &instruments{
+		appends:       reg.Counter("drp_store_appends_total", "WAL records appended.", nil),
+		fsyncs:        reg.Counter("drp_store_fsyncs_total", "WAL and snapshot fsync calls.", nil),
+		replayed:      reg.Counter("drp_store_replay_records_total", "WAL records replayed during recovery.", nil),
+		snapshots:     reg.Counter("drp_store_snapshots_total", "State snapshots written.", nil),
+		snapshotBytes: reg.Counter("drp_store_snapshot_bytes_total", "Bytes written to state snapshots.", nil),
+		truncations:   reg.Counter("drp_store_truncations_total", "Log truncations: retired segments after a snapshot plus corrupt tails cut at recovery.", nil),
+	}
+}
+
+// RegisterMetricFamilies pre-creates the drp_store_* families in reg at
+// zero, for endpoints that must expose the full surface before any
+// durable traffic.
+func RegisterMetricFamilies(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	newInstruments(reg)
+}

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Record opcodes. The WAL is a log of these logical mutations; replaying
+// them over the deterministic bootstrap state reconstructs the site.
+const (
+	opPlace    uint8 = 1  // obj, arg=version: hold a replica at that version
+	opDrop     uint8 = 2  // obj: stop holding (version forgotten)
+	opSetVer   uint8 = 3  // obj, arg=version: absolute version stamp
+	opStale    uint8 = 4  // obj, sites: mark replicas stale at the primary
+	opClear    uint8 = 5  // obj, arg=site: clear one stale mark
+	opQueue    uint8 = 6  // obj, arg=±1: queue / dequeue a pending write
+	opNTC      uint8 = 7  // arg=delta: account transfer cost
+	opNearest  uint8 = 8  // obj, arg=site: nearest-replica record
+	opReplicas uint8 = 9  // obj, sites: read-failover replica ranking
+	opRegistry uint8 = 10 // obj, sites: primary's replicator list (trims stale)
+)
+
+// record is one logical mutation. Versions and cost deltas ride in arg;
+// list-valued ops (stale marks, replica sets) ride in sites.
+type record struct {
+	op    uint8
+	obj   int32
+	arg   int64
+	sites []int32
+}
+
+// encode lays the record out as op(1) | obj(4) | arg(8) | nsites(4) |
+// sites(4·n), little-endian throughout. The layout is fixed-width so the
+// same mutation always produces the same bytes (byte-identical logs for
+// identical histories).
+func (r record) encode() []byte {
+	buf := make([]byte, 1+4+8+4+4*len(r.sites))
+	buf[0] = r.op
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(r.obj))
+	binary.LittleEndian.PutUint64(buf[5:13], uint64(r.arg))
+	binary.LittleEndian.PutUint32(buf[13:17], uint32(len(r.sites)))
+	for i, s := range r.sites {
+		binary.LittleEndian.PutUint32(buf[17+4*i:], uint32(s))
+	}
+	return buf
+}
+
+// decodeRecord rejects anything that is not exactly one well-formed
+// record; replay treats a rejection as corruption and stops there.
+func decodeRecord(b []byte) (record, error) {
+	if len(b) < 17 {
+		return record{}, fmt.Errorf("store: record too short (%d bytes)", len(b))
+	}
+	r := record{
+		op:  b[0],
+		obj: int32(binary.LittleEndian.Uint32(b[1:5])),
+		arg: int64(binary.LittleEndian.Uint64(b[5:13])),
+	}
+	n := binary.LittleEndian.Uint32(b[13:17])
+	if n > maxRecordBytes/4 || len(b) != 17+4*int(n) {
+		return record{}, fmt.Errorf("store: record length %d does not match %d sites", len(b), n)
+	}
+	if r.op < opPlace || r.op > opRegistry {
+		return record{}, fmt.Errorf("store: unknown opcode %d", r.op)
+	}
+	if n > 0 {
+		r.sites = make([]int32, n)
+		for i := range r.sites {
+			r.sites[i] = int32(binary.LittleEndian.Uint32(b[17+4*i:]))
+		}
+	}
+	return r, nil
+}

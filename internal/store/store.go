@@ -1,0 +1,708 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"drp/internal/metrics"
+)
+
+// Options tune a durable store.
+type Options struct {
+	// Sync is the fsync policy for WAL appends.
+	Sync SyncPolicy
+	// SyncEvery is the appends-between-fsyncs interval for SyncInterval.
+	SyncEvery int
+	// SnapshotEvery takes an automatic snapshot (with log truncation)
+	// every that many appended records; 0 disables automatic snapshots.
+	SnapshotEvery int
+	// Metrics, when non-nil, receives the drp_store_* counters.
+	Metrics *metrics.Registry
+}
+
+// Store is one site's replication state: replica holdings, primary-stamped
+// versions, the nearest-replica and failover tables, the primary-side
+// replicator registries and stale marks, queued writes and accounted NTC.
+//
+// In durable mode (Open with a directory) every mutation appends one WAL
+// record before it is visible to the caller, so an acknowledgement implies
+// the state change survives a crash; Open replays the directory back into
+// the identical state. In memory mode (Memory, or Open with an empty dir)
+// the same state machine runs without a log.
+//
+// All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	site    int
+	primary []int // bootstrap: primary site per object
+	dir     string
+	w       *wal // nil in memory mode
+	seg     uint64
+	policy  SyncPolicy
+	every   int
+	snapN   int
+	obs     *instruments
+	appends int // since the last snapshot
+	recov   bool
+	closed  bool
+
+	holds    []bool
+	versions []int64
+	nearest  []int
+	replicas [][]int
+	registry [][]int
+	stale    []map[int]bool
+	pending  []int
+	ntc      int64
+}
+
+// ErrClosed reports a mutation on a store whose log has been closed (the
+// node is shutting down or crash-stopped).
+var ErrClosed = errors.New("store: closed")
+
+// Memory builds a memory-only store bootstrapped for site: every object's
+// nearest replica and failover list point at its primary, and objects
+// primaried at site are held at version 0 with a singleton registry.
+func Memory(site int, primaries []int) *Store {
+	s := &Store{site: site, primary: append([]int(nil), primaries...)}
+	s.bootstrap()
+	return s
+}
+
+func (s *Store) bootstrap() {
+	n := len(s.primary)
+	s.holds = make([]bool, n)
+	s.versions = make([]int64, n)
+	s.nearest = make([]int, n)
+	s.replicas = make([][]int, n)
+	s.registry = make([][]int, n)
+	s.stale = make([]map[int]bool, n)
+	s.pending = make([]int, n)
+	s.ntc = 0
+	for k, sp := range s.primary {
+		s.nearest[k] = sp
+		s.replicas[k] = []int{sp}
+		if sp == s.site {
+			s.holds[k] = true
+			s.registry[k] = []int{s.site}
+		}
+	}
+}
+
+// Open opens (or creates) the durable store for site in dir: bootstrap,
+// load the newest valid snapshot, replay the WAL segments after it,
+// truncate any corrupt tail, and leave the log open for appending. An
+// empty dir returns a memory-only store. The recovered state is a pure
+// function of (site, primaries, directory bytes); Recovered reports
+// whether any prior state was found.
+func Open(dir string, site int, primaries []int, opts Options) (*Store, error) {
+	s := Memory(site, primaries)
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.dir = dir
+	s.policy = opts.Sync
+	s.every = opts.SyncEvery
+	if s.policy == SyncInterval && s.every <= 0 {
+		s.every = 64
+	}
+	s.snapN = opts.SnapshotEvery
+	s.obs = newInstruments(opts.Metrics)
+
+	wals, snaps, err := scanSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Newest snapshot that validates wins; older ones and torn tmp files
+	// are garbage from interrupted snapshot cycles.
+	snapSeq, haveSnap := uint64(0), false
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, err := readSnapshotFile(snapPath(dir, snaps[i]))
+		if err != nil {
+			continue
+		}
+		if err := s.loadSnapshot(payload); err != nil {
+			continue
+		}
+		snapSeq, haveSnap = snaps[i], true
+		break
+	}
+	if haveSnap {
+		s.recov = true
+	}
+	// Replay every segment after the snapshot, oldest first. Normally that
+	// is exactly one; an interrupted snapshot cycle can leave the fresh
+	// empty segment alongside it.
+	cur := snapSeq + 1
+	for _, seq := range wals {
+		if haveSnap && seq <= snapSeq {
+			continue
+		}
+		if seq > cur {
+			cur = seq
+		}
+	}
+	var last *wal
+	for _, seq := range wals {
+		if (haveSnap && seq <= snapSeq) || seq > cur {
+			continue
+		}
+		w, err := openWAL(walPath(dir, seq), s.policy, s.every, s.obs, s.applyPayload)
+		if err != nil {
+			return nil, err
+		}
+		if seq == cur {
+			last = w
+		} else if err := w.close(); err != nil {
+			return nil, err
+		}
+	}
+	if last == nil {
+		w, err := openWAL(walPath(dir, cur), s.policy, s.every, s.obs, s.applyPayload)
+		if err != nil {
+			return nil, err
+		}
+		last = w
+	}
+	s.w, s.seg = last, cur
+	return s, nil
+}
+
+// applyPayload decodes and applies one replayed WAL record; undecodable
+// payloads end the valid prefix.
+func (s *Store) applyPayload(payload []byte) error {
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errCorruptRecord, err)
+	}
+	if rec.op == opNTC {
+		if rec.obj != -1 {
+			return fmt.Errorf("%w: ntc record with object %d", errCorruptRecord, rec.obj)
+		}
+	} else if int(rec.obj) < 0 || int(rec.obj) >= len(s.primary) {
+		return fmt.Errorf("%w: object %d out of range", errCorruptRecord, rec.obj)
+	}
+	s.apply(rec)
+	s.recov = true
+	return nil
+}
+
+// apply materialises one record into the in-memory state. It must stay a
+// pure function of (state, record): replay determinism depends on it.
+func (s *Store) apply(rec record) {
+	k := int(rec.obj)
+	switch rec.op {
+	case opPlace:
+		s.holds[k] = true
+		s.versions[k] = rec.arg
+		s.nearest[k] = s.site
+	case opDrop:
+		s.holds[k] = false
+		s.versions[k] = 0
+	case opSetVer:
+		s.versions[k] = rec.arg
+	case opStale:
+		marks := s.stale[k]
+		if marks == nil {
+			marks = make(map[int]bool)
+			s.stale[k] = marks
+		}
+		for _, j := range rec.sites {
+			marks[int(j)] = true
+		}
+	case opClear:
+		if marks := s.stale[k]; marks != nil {
+			delete(marks, int(rec.arg))
+		}
+	case opQueue:
+		s.pending[k] += int(rec.arg)
+		if s.pending[k] < 0 {
+			s.pending[k] = 0
+		}
+	case opNTC:
+		s.ntc += rec.arg
+	case opNearest:
+		s.nearest[k] = int(rec.arg)
+	case opReplicas:
+		s.replicas[k] = intsOf(rec.sites)
+	case opRegistry:
+		s.registry[k] = intsOf(rec.sites)
+		// A site no longer replicating the object has nothing left to
+		// reconcile: trim its stale mark with the registry update, in one
+		// record, so replay and live execution agree.
+		if marks := s.stale[k]; marks != nil {
+			keep := make(map[int]bool, len(rec.sites))
+			for _, j := range rec.sites {
+				keep[int(j)] = true
+			}
+			for j := range marks {
+				if !keep[j] {
+					delete(marks, j)
+				}
+			}
+		}
+	}
+}
+
+func intsOf(sites []int32) []int {
+	if sites == nil {
+		return nil
+	}
+	out := make([]int, len(sites))
+	for i, s := range sites {
+		out[i] = int(s)
+	}
+	return out
+}
+
+func int32sOf(sites []int) []int32 {
+	if sites == nil {
+		return nil
+	}
+	out := make([]int32, len(sites))
+	for i, s := range sites {
+		out[i] = int32(s)
+	}
+	return out
+}
+
+// commit appends rec to the WAL (durable mode) and applies it. The state
+// only changes if the log accepted the record: append-before-ack.
+func (s *Store) commit(rec record) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.w != nil {
+		if err := s.w.append(rec.encode()); err != nil {
+			return err
+		}
+	}
+	s.apply(rec)
+	if s.w != nil {
+		s.appends++
+		if s.snapN > 0 && s.appends >= s.snapN {
+			return s.snapshotLocked()
+		}
+	}
+	return nil
+}
+
+// Recovered reports whether Open found prior durable state (a snapshot or
+// at least one WAL record).
+func (s *Store) Recovered() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recov
+}
+
+// Dir returns the data directory ("" for a memory store).
+func (s *Store) Dir() string { return s.dir }
+
+// Site returns the site this store belongs to.
+func (s *Store) Site() int { return s.site }
+
+// Objects returns the object count the store was bootstrapped with.
+func (s *Store) Objects() int { return len(s.primary) }
+
+// --- getters ---
+
+// Holds reports whether the site holds a replica of object k.
+func (s *Store) Holds(k int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.holds[k]
+}
+
+// Version returns the local version of object k (0 if not held).
+func (s *Store) Version(k int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.versions[k]
+}
+
+// Replica returns the holding flag and version of object k atomically.
+func (s *Store) Replica(k int) (bool, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.holds[k], s.versions[k]
+}
+
+// Nearest returns the recorded nearest-replica site for object k.
+func (s *Store) Nearest(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nearest[k]
+}
+
+// Replicas returns a copy of object k's replicator list (failover order
+// source).
+func (s *Store) Replicas(k int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.replicas[k]...)
+}
+
+// Registry returns a copy of the primary-side replicator registry for k.
+func (s *Store) Registry(k int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.registry[k]...)
+}
+
+// StaleSites returns the sites marked stale for object k, sorted.
+func (s *Store) StaleSites(k int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedKeys(s.stale[k])
+}
+
+// PendingCount returns the queued-write count for object k.
+func (s *Store) PendingCount(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending[k]
+}
+
+// PendingObjects returns the objects with queued writes, ascending.
+func (s *Store) PendingObjects() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var objs []int
+	for k, c := range s.pending {
+		if c > 0 {
+			objs = append(objs, k)
+		}
+	}
+	return objs
+}
+
+// TotalPending sums the queued writes across objects.
+func (s *Store) TotalPending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, c := range s.pending {
+		total += c
+	}
+	return total
+}
+
+// NTC returns the transfer cost accounted to this site.
+func (s *Store) NTC() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ntc
+}
+
+// --- mutators (append before the new state is observable) ---
+
+// Place stores a replica of k at version ver and points the nearest-replica
+// record at the site itself.
+func (s *Store) Place(k int, ver int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit(record{op: opPlace, obj: int32(k), arg: ver})
+}
+
+// Drop discards the replica of k.
+func (s *Store) Drop(k int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit(record{op: opDrop, obj: int32(k)})
+}
+
+// BumpVersion serialises one write at the primary: version++ and returns
+// the new stamp.
+func (s *Store) BumpVersion(k int) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.versions[k] + 1
+	if err := s.commit(record{op: opSetVer, obj: int32(k), arg: next}); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// AdoptVersion installs ver for a held replica when it is newer than the
+// local stamp, reporting (held, adopted). Non-holders and stale stamps
+// append nothing.
+func (s *Store) AdoptVersion(k int, ver int64) (held, adopted bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.holds[k] {
+		return false, false, nil
+	}
+	if ver <= s.versions[k] {
+		return true, false, nil
+	}
+	if err := s.commit(record{op: opSetVer, obj: int32(k), arg: ver}); err != nil {
+		return true, false, err
+	}
+	return true, true, nil
+}
+
+// MarkStale records that sites missed a sync broadcast of k.
+func (s *Store) MarkStale(k int, sites []int) error {
+	if len(sites) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit(record{op: opStale, obj: int32(k), sites: int32sOf(sites)})
+}
+
+// ClearStale drops the stale mark for one site (a sync landed).
+func (s *Store) ClearStale(k, site int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if marks := s.stale[k]; marks == nil || !marks[site] {
+		return nil // nothing marked: no record
+	}
+	return s.commit(record{op: opClear, obj: int32(k), arg: int64(site)})
+}
+
+// Queue records one write waiting for an unreachable primary.
+func (s *Store) Queue(k int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit(record{op: opQueue, obj: int32(k), arg: 1})
+}
+
+// Dequeue retires one queued write after a successful replay.
+func (s *Store) Dequeue(k int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending[k] == 0 {
+		return nil
+	}
+	return s.commit(record{op: opQueue, obj: int32(k), arg: -1})
+}
+
+// AddNTC accounts d transfer-cost units to the site.
+func (s *Store) AddNTC(d int64) error {
+	if d == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit(record{op: opNTC, obj: -1, arg: d})
+}
+
+// SetNearest repoints the nearest-replica record for k.
+func (s *Store) SetNearest(k, site int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit(record{op: opNearest, obj: int32(k), arg: int64(site)})
+}
+
+// SetReplicas replaces the read-failover replicator list for k.
+func (s *Store) SetReplicas(k int, sites []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit(record{op: opReplicas, obj: int32(k), sites: int32sOf(sites)})
+}
+
+// SetRegistry replaces the primary's replicator registry for k and trims
+// stale marks for sites that left the set (one record covers both).
+func (s *Store) SetRegistry(k int, sites []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit(record{op: opRegistry, obj: int32(k), sites: int32sOf(sites)})
+}
+
+// --- snapshots, shutdown, inspection ---
+
+// snapState is the canonical full-state encoding: slices indexed by object
+// with stale sets sorted, so identical states encode to identical bytes.
+type snapState struct {
+	Site     int     `json:"site"`
+	Holds    []bool  `json:"holds"`
+	Versions []int64 `json:"versions"`
+	Nearest  []int   `json:"nearest"`
+	Replicas [][]int `json:"replicas"`
+	Registry [][]int `json:"registry"`
+	Stale    [][]int `json:"stale"`
+	Pending  []int   `json:"pending"`
+	NTC      int64   `json:"ntc"`
+}
+
+func (s *Store) encodeStateLocked() []byte {
+	st := snapState{
+		Site:     s.site,
+		Holds:    s.holds,
+		Versions: s.versions,
+		Nearest:  s.nearest,
+		Replicas: s.replicas,
+		Registry: s.registry,
+		Stale:    make([][]int, len(s.stale)),
+		Pending:  s.pending,
+		NTC:      s.ntc,
+	}
+	for k, marks := range s.stale {
+		st.Stale[k] = sortedKeys(marks)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		// Marshalling plain slices of ints cannot fail; treat it as the
+		// programming error it would be.
+		panic(fmt.Sprintf("store: encode state: %v", err))
+	}
+	return data
+}
+
+// EncodeState returns the canonical byte encoding of the full site state.
+// Two stores serve identically if and only if their encodings are equal;
+// the recovery tests assert byte identity across kill and replay.
+func (s *Store) EncodeState() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.encodeStateLocked()
+}
+
+func (s *Store) loadSnapshot(payload []byte) error {
+	var st snapState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return err
+	}
+	n := len(s.primary)
+	if st.Site != s.site || len(st.Holds) != n || len(st.Versions) != n ||
+		len(st.Nearest) != n || len(st.Replicas) != n || len(st.Registry) != n ||
+		len(st.Stale) != n || len(st.Pending) != n {
+		return fmt.Errorf("store: snapshot shape does not match site %d with %d objects", s.site, n)
+	}
+	s.holds = st.Holds
+	s.versions = st.Versions
+	s.nearest = st.Nearest
+	s.replicas = st.Replicas
+	s.registry = st.Registry
+	s.stale = make([]map[int]bool, n)
+	for k, sites := range st.Stale {
+		if len(sites) == 0 {
+			continue
+		}
+		marks := make(map[int]bool, len(sites))
+		for _, j := range sites {
+			marks[j] = true
+		}
+		s.stale[k] = marks
+	}
+	s.pending = st.Pending
+	s.ntc = st.NTC
+	return nil
+}
+
+// Snapshot forces a full-state snapshot with log truncation: the state is
+// committed to snap-<seg>, a fresh segment wal-<seg+1> takes over, and the
+// old segment plus older snapshots are retired. A crash at any step of the
+// protocol recovers correctly (see DESIGN.md §11 for the crash matrix).
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() error {
+	payload := s.encodeStateLocked()
+	n, err := writeSnapshotFile(snapPath(s.dir, s.seg), payload)
+	if err != nil {
+		return err
+	}
+	if s.obs != nil {
+		s.obs.snapshots.Inc()
+		s.obs.snapshotBytes.Add(n)
+		s.obs.fsyncs.Inc()
+	}
+	next, err := openWAL(walPath(s.dir, s.seg+1), s.policy, s.every, s.obs, func([]byte) error {
+		return errCorruptRecord // a fresh segment has no business holding records
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.w.close(); err != nil {
+		next.close()
+		return err
+	}
+	// Retirement is the last step: until it happens the old files are
+	// harmlessly shadowed by the newer snapshot.
+	if err := os.Remove(walPath(s.dir, s.seg)); err == nil && s.obs != nil {
+		s.obs.truncations.Inc()
+	}
+	if s.seg > 0 {
+		_ = os.Remove(snapPath(s.dir, s.seg-1))
+	}
+	syncDir(s.dir)
+	s.w = next
+	s.seg++
+	s.appends = 0
+	return nil
+}
+
+// Sync forces the log to disk regardless of policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil || s.closed {
+		return nil
+	}
+	return s.w.sync()
+}
+
+// Close flushes and closes the log. No snapshot is taken: shutdown and
+// crash recover through the same replay path, which keeps recovery honest.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.w == nil {
+		return nil
+	}
+	return s.w.close()
+}
+
+// Crash closes the log without flushing — the SIGKILL-equivalent stop the
+// recovery tests use. Acknowledged records already handed to the OS
+// survive (a process kill loses nothing; only power loss tests the fsync
+// policy).
+func (s *Store) Crash() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.w == nil {
+		return nil
+	}
+	return s.w.abandon()
+}
+
+func sortedKeys(set map[int]bool) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for j := range set {
+		out = append(out, j)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
