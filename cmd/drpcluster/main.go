@@ -39,6 +39,7 @@ import (
 	"drp/internal/gra"
 	"drp/internal/metrics"
 	"drp/internal/netnode"
+	"drp/internal/plan"
 	"drp/internal/sra"
 	"drp/internal/store"
 	"drp/internal/workload"
@@ -80,8 +81,18 @@ func run(args []string, stdout io.Writer) error {
 		serveFor      = fs.Duration("serve-for", 0, "keep the metrics endpoint up this long after the run (0 = exit immediately)")
 		metricsOut    = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
 		eventsOut     = fs.String("events", "", "append structured JSONL events to this file")
+		planOut       = fs.String("plan-out", "", "write the scheme in force after the last epoch as a canonical placement-plan JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateFlags(flagState{
+		sites: *sites, drift: *drift, driftR: *driftR,
+		failSite: *failSite, failFrom: *failFrom, failTo: *failTo,
+		dataDir: *dataDir, fsync: *fsync, snapEvery: *snapEvery,
+		listenMetrics: *listenMetrics, serveFor: *serveFor,
+		compare: *compare, planOut: *planOut,
+	}); err != nil {
 		return err
 	}
 
@@ -105,9 +116,6 @@ func run(args []string, stdout io.Writer) error {
 
 	var journal *store.Journal
 	if *dataDir != "" {
-		if *compare {
-			return fmt.Errorf("-compare runs every policy on the same traffic and cannot journal a single scheme history; drop -data-dir")
-		}
 		syncPolicy, every, err := store.ParseSyncPolicy(*fsync)
 		if err != nil {
 			return err
@@ -130,8 +138,6 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "resuming from journal: scheme of epoch %d (%d replicas)\n",
 				epoch, initial.TotalReplicas())
 		}
-	} else if *snapEvery > 0 {
-		return fmt.Errorf("-snapshot-every needs -data-dir")
 	}
 
 	graParams := gra.DefaultParams()
@@ -258,6 +264,70 @@ func run(args []string, stdout io.Writer) error {
 		if err := metrics.WriteSnapshotFile(reg, *metricsOut); err != nil {
 			return err
 		}
+	}
+	if *planOut != "" {
+		data, err := plan.FromScheme(res.FinalScheme).Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*planOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote final scheme as a placement plan to %s\n", *planOut)
+	}
+	return nil
+}
+
+// flagState carries the parsed flags validateFlags cross-checks.
+type flagState struct {
+	sites              int
+	drift, driftR      float64
+	failSite, failFrom int
+	failTo             int
+	dataDir, fsync     string
+	snapEvery          int
+	listenMetrics      string
+	serveFor           time.Duration
+	compare            bool
+	planOut            string
+}
+
+// validateFlags rejects flag combinations that would otherwise be
+// silently ignored or quietly do something other than what was asked.
+func validateFlags(f flagState) error {
+	if f.drift < 0 || f.drift > 1 {
+		return fmt.Errorf("-drift %g: the share of drifting objects must be within [0, 1]", f.drift)
+	}
+	if f.driftR < 0 || f.driftR > 1 {
+		return fmt.Errorf("-drift-reads %g: the read share must be within [0, 1]", f.driftR)
+	}
+	if f.failSite < 0 && (f.failFrom != 0 || f.failTo != 0) {
+		return fmt.Errorf("-fail-from/-fail-to schedule an outage window and need -fail-site")
+	}
+	if f.failSite >= f.sites {
+		return fmt.Errorf("-fail-site %d is outside the %d-site system", f.failSite, f.sites)
+	}
+	if f.failSite >= 0 && f.failTo <= f.failFrom {
+		return fmt.Errorf("-fail-site %d has an empty outage window [%d, %d); -fail-to must exceed -fail-from", f.failSite, f.failFrom, f.failTo)
+	}
+	if f.dataDir == "" {
+		if f.snapEvery > 0 {
+			return fmt.Errorf("-snapshot-every compacts the journal and needs -data-dir")
+		}
+		if f.fsync != "always" {
+			return fmt.Errorf("-fsync sets the journal sync policy and needs -data-dir")
+		}
+	}
+	if f.compare {
+		if f.dataDir != "" {
+			return fmt.Errorf("-compare runs every policy on the same traffic and cannot journal a single scheme history; drop -data-dir")
+		}
+		if f.planOut != "" {
+			return fmt.Errorf("-compare produces one scheme per policy; -plan-out needs a single-policy run")
+		}
+	}
+	if f.serveFor > 0 && f.listenMetrics == "" {
+		return fmt.Errorf("-serve-for keeps the metrics endpoint alive and needs -listen-metrics")
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	drpnet -in problem.json -algo gra -gens 30    # optimise then serve
 //	drpnet -fault-plan plan.json -retry 3 -req-timeout 2s   # chaos run
 //	drpnet -data-dir /var/lib/drp -fsync every:64 # durable sites
+//	drpnet -members 0,1,2,3 -join 4 -leave 0      # reshape the cluster
 //
 // With -data-dir every site's state (replica holdings, versions, stale
 // marks, queued writes, accounted NTC) lives in a per-site write-ahead
@@ -22,6 +23,17 @@
 // run, and afterwards queued writes are flushed and stale replicas
 // reconciled.
 //
+// With -members/-join/-leave the run becomes a membership scenario: the
+// cluster boots on the founding view, a control plane (SRA founding
+// solve, AGRA adaptation per view change) emits a versioned placement
+// plan for every join and leave, and the data plane migrates
+// incrementally — replicas copy in before anything routes to them, and a
+// departing site keeps serving until the plan drains it. Combined with
+// -data-dir the coordinator journals each plan before migrating; a rerun
+// on the same directory boots the reshaped member set recorded in the
+// journal and resumes any unfinished migration instead of replaying the
+// scenario. -plan-out writes the final deployed plan as canonical JSON.
+//
 // Observability: -listen-metrics serves the nodes' shared drp_net_* request
 // instruments (latency histograms, replica-hit and NTC counters) as
 // Prometheus text at /metrics, plus /debug/vars and /debug/pprof;
@@ -33,12 +45,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"drp"
+	ctrl "drp/internal/cluster"
 	"drp/internal/fault"
+	"drp/internal/membership"
 	"drp/internal/metrics"
 	"drp/internal/netnode"
+	"drp/internal/netsim"
+	"drp/internal/plan"
 	"drp/internal/store"
 )
 
@@ -72,9 +92,36 @@ func run(args []string, stdout io.Writer) error {
 		dataDir   = fs.String("data-dir", "", "persist each site's state to a write-ahead log under this directory; a rerun on the same directory recovers the deployed scheme, versions and queued writes from disk")
 		snapEvery = fs.Int("snapshot-every", 0, "snapshot each site's state and truncate its log every N appended records (0 = never; requires -data-dir)")
 		fsync     = fs.String("fsync", "always", `WAL fsync policy: "always", "never" or "every:N" (requires -data-dir)`)
+
+		members = fs.String("members", "", "comma-separated founding member sites (membership scenario; must cover every primary site)")
+		join    = fs.String("join", "", "comma-separated sites that join after the founding plan deploys, each followed by a re-optimised plan and incremental migration")
+		leave   = fs.String("leave", "", "comma-separated sites to drain and remove after the joins, each preceded by a plan that migrates the site empty")
+		planOut = fs.String("plan-out", "", "write the final deployed placement plan as canonical JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Reject flag combinations that would otherwise be silently ignored.
+	reshaping := *members != "" || *join != "" || *leave != ""
+	if *serveFor > 0 && *listenMetrics == "" {
+		return fmt.Errorf("-serve-for keeps the metrics endpoint alive and needs -listen-metrics")
+	}
+	if *dataDir == "" {
+		if *snapEvery > 0 {
+			return fmt.Errorf("-snapshot-every needs -data-dir")
+		}
+		if *fsync != "always" {
+			return fmt.Errorf("-fsync sets the WAL sync policy and needs -data-dir")
+		}
+	}
+	if reshaping {
+		if *faultPlan != "" {
+			return fmt.Errorf("-fault-plan cannot combine with the membership scenario (-members/-join/-leave); run a chaos pass and a reshape pass separately")
+		}
+		if *algo != "sra" {
+			return fmt.Errorf("-algo %q conflicts with the membership scenario: its control plane picks placements itself (SRA founding solve, AGRA adaptation); drop -algo", *algo)
+		}
 	}
 
 	var (
@@ -93,6 +140,48 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+
+	var storeOpts store.Options
+	if *dataDir != "" {
+		policy, every, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		storeOpts = store.Options{Sync: policy, SyncEvery: every, SnapshotEvery: *snapEvery}
+	}
+
+	if reshaping {
+		founding, err := parseSiteList(*members, p.Sites())
+		if err != nil {
+			return fmt.Errorf("-members: %w", err)
+		}
+		if founding == nil {
+			founding = make([]int, p.Sites())
+			for i := range founding {
+				founding[i] = i
+			}
+		}
+		sort.Ints(founding)
+		joins, err := parseSiteList(*join, p.Sites())
+		if err != nil {
+			return fmt.Errorf("-join: %w", err)
+		}
+		leaves, err := parseSiteList(*leave, p.Sites())
+		if err != nil {
+			return fmt.Errorf("-leave: %w", err)
+		}
+		inFounding := make(map[int]bool, len(founding))
+		for _, m := range founding {
+			inFounding[m] = true
+		}
+		for _, s := range joins {
+			if inFounding[s] {
+				return fmt.Errorf("-join: site %d is already a founding member", s)
+			}
+		}
+		return runMembership(p, founding, joins, leaves, *dataDir, storeOpts,
+			*retries, *reqTimeout, *listenMetrics, *serveFor, *planOut, stdout)
 	}
 
 	var scheme *drp.Scheme
@@ -126,23 +215,12 @@ func run(args []string, stdout io.Writer) error {
 
 	var cluster *netnode.Cluster
 	if *dataDir != "" {
-		policy, every, err := store.ParseSyncPolicy(*fsync)
-		if err != nil {
-			return err
-		}
-		cluster, err = netnode.StartDurable(p, *dataDir, store.Options{
-			Sync:          policy,
-			SyncEvery:     every,
-			SnapshotEvery: *snapEvery,
-			Metrics:       reg,
-		})
+		storeOpts.Metrics = reg
+		cluster, err = netnode.StartDurable(p, *dataDir, storeOpts)
 		if err != nil {
 			return err
 		}
 	} else {
-		if *snapEvery > 0 {
-			return fmt.Errorf("-snapshot-every needs -data-dir")
-		}
 		var err error
 		cluster, err = netnode.StartLocal(p)
 		if err != nil {
@@ -198,7 +276,10 @@ func run(args []string, stdout io.Writer) error {
 		*algo, scheme.TotalReplicas(), migration)
 
 	if *faultPlan != "" {
-		return runFaulted(cluster, p, scheme, *faultPlan, stdout)
+		if err := runFaulted(cluster, p, scheme, *faultPlan, stdout); err != nil {
+			return err
+		}
+		return writePlanFile(cluster, *planOut, stdout)
 	}
 
 	total, err := cluster.DriveTraffic()
@@ -215,20 +296,20 @@ func run(args []string, stdout io.Writer) error {
 	} else {
 		fmt.Fprintln(stdout, "  WARNING: model and wire disagree")
 	}
-	return nil
+	return writePlanFile(cluster, *planOut, stdout)
 }
 
 // runFaulted serves the measurement period under an injected fault plan,
 // then recovers: queued writes flush and stale replicas reconcile once the
 // logical clock has passed the last fault window.
 func runFaulted(cluster *netnode.Cluster, p *drp.Problem, scheme *drp.Scheme, planPath string, stdout io.Writer) error {
-	plan, err := fault.LoadPlan(planPath, p.Sites())
+	fp, err := fault.LoadPlan(planPath, p.Sites())
 	if err != nil {
 		return err
 	}
-	in := fault.NewInjector(plan)
+	in := fault.NewInjector(fp)
 	fault.Attach(cluster, in)
-	fmt.Fprintf(stdout, "injecting %d fault events (seed %d)\n", len(plan.Events), plan.Seed)
+	fmt.Fprintf(stdout, "injecting %d fault events (seed %d)\n", len(fp.Events), fp.Seed)
 
 	rep, err := cluster.DriveTrafficReport()
 	if err != nil {
@@ -244,7 +325,7 @@ func runFaulted(cluster *netnode.Cluster, p *drp.Problem, scheme *drp.Scheme, pl
 
 	// Recovery: move the clock past the last scheduled fault, replay the
 	// queued writes and re-sync the replicas that missed a broadcast.
-	in.AdvanceTo(plan.MaxStep())
+	in.AdvanceTo(fp.MaxStep())
 	flushNTC, err := cluster.FlushPending()
 	if err != nil {
 		return err
@@ -262,4 +343,239 @@ func runFaulted(cluster *netnode.Cluster, p *drp.Problem, scheme *drp.Scheme, pl
 		fmt.Fprintln(stdout, "  WARNING: cluster did not fully reconverge")
 	}
 	return nil
+}
+
+// runMembership drives the control/data-plane split end to end: boot the
+// founding view, deploy the control plane's founding plan, then migrate
+// through each join and leave while reads keep serving. With a data
+// directory the coordinator journal makes the whole sequence resumable:
+// a rerun finds the last recorded plan, boots its member set and resumes
+// any unfinished migration instead of replaying the scenario.
+func runMembership(p *drp.Problem, founding, joins, leaves []int, dataDir string, storeOpts store.Options,
+	retries int, reqTimeout time.Duration, listenMetrics string, serveFor time.Duration,
+	planOut string, stdout io.Writer) error {
+	pcost := func(i, j int) int64 { return p.Cost(i, j) }
+
+	var reg *metrics.Registry
+	if listenMetrics != "" {
+		reg = metrics.NewRegistry()
+		netnode.RegisterMetricFamilies(reg)
+		store.RegisterMetricFamilies(reg)
+		storeOpts.Metrics = reg
+	}
+
+	var journal *store.Journal
+	if dataDir != "" {
+		var err error
+		journal, err = store.OpenJournal(filepath.Join(dataDir, "coordinator"), storeOpts)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if _, data, ok := journal.LatestPlan(); ok {
+			// The journal outranks the scenario flags: the recorded plan
+			// names the member set the cluster was last migrating toward.
+			target, err := plan.Unmarshal(data)
+			if err != nil {
+				return fmt.Errorf("journaled plan in %s: %w", dataDir, err)
+			}
+			fmt.Fprintf(stdout, "journal holds plan epoch %d over members %v; resuming it (the -members/-join/-leave scenario already ran)\n",
+				target.Epoch, target.View.Members)
+			c, err := netnode.StartDurableView(p, dataDir, storeOpts, target.View.Members)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			c.AttachJournal(journal)
+			applyNet(c, retries, reqTimeout)
+			stop, err := serveMetricsEndpoint(c, reg, listenMetrics, serveFor, stdout)
+			if err != nil {
+				return err
+			}
+			defer stop()
+			rep, resumed, err := c.ResumeMigration(pcost)
+			if err != nil {
+				return fmt.Errorf("resume journaled migration: %w", err)
+			}
+			if resumed {
+				fmt.Fprintf(stdout, "resumed migration to plan epoch %d: %d remaining steps, migration cost %d\n",
+					c.Plan().Epoch, rep.Completed, rep.MigrationNTC)
+			}
+			return serveViewTraffic(p, c, pcost, planOut, stdout)
+		}
+	}
+
+	var (
+		c   *netnode.Cluster
+		err error
+	)
+	if dataDir != "" {
+		c, err = netnode.StartDurableView(p, dataDir, storeOpts, founding)
+	} else {
+		c, err = netnode.StartView(p, founding)
+	}
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if journal != nil {
+		c.AttachJournal(journal)
+	}
+	applyNet(c, retries, reqTimeout)
+	stop, err := serveMetricsEndpoint(c, reg, listenMetrics, serveFor, stdout)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	fmt.Fprintf(stdout, "booted %d-member view %v over a %d-site universe (e.g. site %d at %s)\n",
+		len(founding), founding, p.Sites(), founding[0], c.Node(founding[0]).Addr())
+
+	tr, err := membership.NewTracker(netsim.Complete(p.Dist()), founding)
+	if err != nil {
+		return err
+	}
+	cp, err := ctrl.NewControlPlane(p, tr, ctrl.ControlOptions{})
+	if err != nil {
+		return err
+	}
+	cp.Bind()
+
+	apply := func(stage string) error {
+		if err := cp.Err(); err != nil {
+			return fmt.Errorf("control plane: %w", err)
+		}
+		pl := cp.Plan()
+		rep, err := c.ApplyPlan(pl, pcost)
+		if err != nil {
+			return fmt.Errorf("%s: %w", stage, err)
+		}
+		fmt.Fprintf(stdout, "%s: plan epoch %d over view %v, %d migration steps, cost %d\n",
+			stage, pl.Epoch, pl.View.Members, rep.Completed, rep.MigrationNTC)
+		return nil
+	}
+	if err := apply("founding plan"); err != nil {
+		return err
+	}
+	for _, s := range joins {
+		if _, err := c.Join(s, pcost); err != nil {
+			return err
+		}
+		if _, err := tr.JoinSite(s); err != nil {
+			return err
+		}
+		if err := apply(fmt.Sprintf("join site %d", s)); err != nil {
+			return err
+		}
+	}
+	for _, s := range leaves {
+		if _, err := tr.LeaveSite(s); err != nil {
+			return err
+		}
+		if err := apply(fmt.Sprintf("drain site %d", s)); err != nil {
+			return err
+		}
+		if err := c.Leave(s); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "site %d left: view is now %v\n", s, c.Members())
+	}
+	return serveViewTraffic(p, c, pcost, planOut, stdout)
+}
+
+// serveViewTraffic drives one measurement period over the deployed plan
+// and checks the wire accounting against the plan's eq. 4 serve cost.
+func serveViewTraffic(p *drp.Problem, c *netnode.Cluster, pcost plan.CostFn, planOut string, stdout io.Writer) error {
+	total, err := c.DriveTraffic()
+	if err != nil {
+		return err
+	}
+	model := plan.ServeCost(p, c.Plan(), pcost)
+	fmt.Fprintf(stdout, "served one measurement period over TCP:\n")
+	fmt.Fprintf(stdout, "  accounted transfer cost: %d\n", total)
+	fmt.Fprintf(stdout, "  eq.4 model prediction:   %d\n", model)
+	if total == model {
+		fmt.Fprintln(stdout, "  model and wire agree exactly ✓")
+	} else {
+		fmt.Fprintln(stdout, "  WARNING: model and wire disagree")
+	}
+	return writePlanFile(c, planOut, stdout)
+}
+
+// applyNet pushes the transport knobs to every live node.
+func applyNet(c *netnode.Cluster, retries int, reqTimeout time.Duration) {
+	if retries > 1 {
+		rp := netnode.DefaultRetry()
+		rp.Attempts = retries
+		c.SetRetry(rp)
+	}
+	if reqTimeout > 0 {
+		c.SetRequestTimeout(reqTimeout)
+	}
+}
+
+// serveMetricsEndpoint enables the cluster instruments and serves the
+// registry; the returned stop function honours -serve-for then shuts the
+// endpoint down. With no registry both are no-ops.
+func serveMetricsEndpoint(c *netnode.Cluster, reg *metrics.Registry, listen string, serveFor time.Duration, stdout io.Writer) (func(), error) {
+	if reg == nil {
+		return func() {}, nil
+	}
+	c.EnableMetrics(reg)
+	srv, err := metrics.Serve(listen, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", srv.Addr())
+	return func() {
+		if serveFor > 0 {
+			time.Sleep(serveFor)
+		}
+		srv.Close()
+	}, nil
+}
+
+// writePlanFile writes the deployed plan's canonical JSON encoding.
+func writePlanFile(c *netnode.Cluster, path string, stdout io.Writer) error {
+	if path == "" {
+		return nil
+	}
+	pl := c.Plan()
+	if pl == nil {
+		return fmt.Errorf("-plan-out: no plan deployed")
+	}
+	data, err := pl.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote plan epoch %d (%d-member view) to %s\n",
+		pl.Epoch, len(pl.View.Members), path)
+	return nil
+}
+
+// parseSiteList parses a comma-separated list of site indices, rejecting
+// duplicates and sites outside the universe. An empty list returns nil.
+func parseSiteList(s string, sites int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	seen := make(map[int]bool)
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad site %q", f)
+		}
+		if v < 0 || v >= sites {
+			return nil, fmt.Errorf("site %d is outside the %d-site universe", v, sites)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("site %d listed twice", v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out, nil
 }

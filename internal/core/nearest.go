@@ -54,6 +54,46 @@ func (t *NearestTable) Remove(s *Scheme, k int) {
 	t.recomputeObject(s, k)
 }
 
+// RankReplicas orders an object's replica sites for a reader at site
+// from: ascending transfer cost C(from, j) with ties broken by the lower
+// site index — the failover order eq. 4's min C(i,j) induces. Sites for
+// which inView returns false (departed from the current membership view,
+// or otherwise ineligible) are skipped entirely rather than ranked last,
+// so the order over the surviving sites is deterministic and identical
+// to ranking the restricted view directly. A nil inView keeps every
+// site. The reader's own site is ranked like any other; callers serving
+// locally should check Holds first.
+func RankReplicas(p *Problem, from int, replicas []int, inView func(int) bool) []int {
+	ranked := make([]int, 0, len(replicas))
+	for _, j := range replicas {
+		if j < 0 || j >= p.m {
+			continue
+		}
+		if inView != nil && !inView(j) {
+			continue
+		}
+		ranked = append(ranked, j)
+	}
+	row := p.dist.Row(from)
+	sortReplicas(ranked, row)
+	return ranked
+}
+
+// sortReplicas is an insertion sort by (distance, site index) — replica
+// sets are tiny, and stability of the index tie-break is what makes the
+// failover order reproducible.
+func sortReplicas(sites []int, row []int64) {
+	for i := 1; i < len(sites); i++ {
+		j := sites[i]
+		x := i - 1
+		for x >= 0 && (row[sites[x]] > row[j] || (row[sites[x]] == row[j] && sites[x] > j)) {
+			sites[x+1] = sites[x]
+			x--
+		}
+		sites[x+1] = j
+	}
+}
+
 func (t *NearestTable) recomputeObject(s *Scheme, k int) {
 	p := t.p
 	repl := s.Replicators(k)

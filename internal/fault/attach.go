@@ -15,10 +15,14 @@ import (
 // SetRequestTimeout).
 func Attach(c *netnode.Cluster, in *Injector) {
 	for i := 0; i < c.Sites(); i++ {
-		in.Register(i, c.Node(i).Addr())
+		if node := c.Node(i); node != nil {
+			in.Register(i, node.Addr())
+		}
 	}
 	for i := 0; i < c.Sites(); i++ {
-		c.Node(i).SetDialer(in.DialerFor(i))
+		if node := c.Node(i); node != nil {
+			node.SetDialer(in.DialerFor(i))
+		}
 	}
 	c.SetCommandDialer(in.DialerFor(Coordinator))
 	c.SetRequestHook(in.Advance)

@@ -7,25 +7,34 @@ import (
 	"time"
 
 	"drp/internal/core"
+	"drp/internal/membership"
 	"drp/internal/metrics"
+	"drp/internal/plan"
 	"drp/internal/store"
 	"drp/internal/xrand"
 )
 
-// Cluster manages one node per site on the loopback interface and plays
-// the coordinator (monitor) role: deploying replication schemes, driving
-// traffic, and — under faults — flushing queued writes and reconciling
-// stale replicas.
+// Cluster manages one node per member site on the loopback interface and
+// plays the coordinator (monitor) role: deploying replication schemes and
+// placement plans, driving traffic, and — under faults — flushing queued
+// writes and reconciling stale replicas. The node slice is
+// universe-indexed; a site that has not joined (or has left) is a nil
+// slot.
 type Cluster struct {
 	p       *core.Problem
 	nodes   []*Node
-	current *core.Scheme
+	current *core.Scheme // nil when the deployed plan has no scheme form
+	members []int        // member sites, ascending
+	plan    *plan.Plan   // deployed placement plan
 
 	dial       Dialer        // coordinator's outbound dialer (fault seam)
 	retry      RetryPolicy   // coordinator command retries
 	reqTimeout time.Duration // coordinator per-command deadline
 	rng        *xrand.Source // backoff jitter for coordinator retries
 	hook       func()        // called before every driven request
+
+	journal  *store.Journal  // coordinator journal (plan persistence)
+	stepHook func(plan.Step) // chaos seam: runs before each migration step
 
 	dataDir    string            // "" for a memory cluster
 	storeOpts  store.Options     // per-site store options (durable clusters)
@@ -59,7 +68,18 @@ func StartLocal(p *core.Problem) (*Cluster, error) {
 	for _, node := range c.nodes {
 		node.SetPeers(addrs)
 	}
+	c.members = allSites(p)
+	c.plan = plan.FromScheme(c.current)
 	return c, nil
+}
+
+// allSites returns every universe site index, ascending.
+func allSites(p *core.Problem) []int {
+	ms := make([]int, p.Sites())
+	for i := range ms {
+		ms[i] = i
+	}
+	return ms
 }
 
 // StartDurable boots one durable node per site, each opening — and
@@ -105,6 +125,8 @@ func StartDurable(p *core.Problem, root string, opts store.Options) (*Cluster, e
 		return nil, err
 	}
 	c.current = cur
+	c.members = allSites(p)
+	c.plan = plan.FromScheme(c.current)
 	return c, nil
 }
 
@@ -113,6 +135,9 @@ func StartDurable(p *core.Problem, root string, opts store.Options) (*Cluster, e
 func (c *Cluster) recoveredScheme() (*core.Scheme, error) {
 	cur := core.NewScheme(c.p)
 	for i, node := range c.nodes {
+		if node == nil {
+			continue
+		}
 		for k := 0; k < c.p.Objects(); k++ {
 			if !node.Holds(k) || cur.Has(i, k) {
 				continue
@@ -139,6 +164,9 @@ func (c *Cluster) RestartNode(i int) (*Node, error) {
 	if i < 0 || i >= len(c.nodes) {
 		return nil, fmt.Errorf("netnode: site %d out of range", i)
 	}
+	if c.nodes[i] == nil {
+		return nil, fmt.Errorf("netnode: site %d is not a member", i)
+	}
 	_ = c.nodes[i].Kill() // idempotent: a no-op after Kill or Close
 	st, err := store.Open(SiteDir(c.dataDir, i), i, primaries(c.p), c.storeOpts)
 	if err != nil {
@@ -155,13 +183,7 @@ func (c *Cluster) RestartNode(i int) (*Node, error) {
 		node.SetMetrics(c.metricsReg)
 	}
 	c.nodes[i] = node
-	addrs := make([]string, len(c.nodes))
-	for j, n := range c.nodes {
-		addrs[j] = n.Addr()
-	}
-	for _, n := range c.nodes {
-		n.SetPeers(addrs)
-	}
+	c.rewirePeers()
 	return node, nil
 }
 
@@ -171,8 +193,15 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 // Sites returns the number of sites in the cluster.
 func (c *Cluster) Sites() int { return c.p.Sites() }
 
-// Scheme returns the currently deployed scheme.
-func (c *Cluster) Scheme() *core.Scheme { return c.current.Clone() }
+// Scheme returns the currently deployed scheme, or nil when the deployed
+// plan has moved a primary (or drained a universe primary site) and so
+// has no scheme representation — use Plan then.
+func (c *Cluster) Scheme() *core.Scheme {
+	if c.current == nil {
+		return nil
+	}
+	return c.current.Clone()
+}
 
 // SetCommandDialer routes the coordinator's own commands through d (nil
 // restores the default TCP dialer). Fault middleware hooks in here.
@@ -188,7 +217,9 @@ func (c *Cluster) SetRequestHook(fn func()) { c.hook = fn }
 func (c *Cluster) SetRetry(rp RetryPolicy) {
 	c.retry = rp
 	for _, node := range c.nodes {
-		node.SetRetry(rp)
+		if node != nil {
+			node.SetRetry(rp)
+		}
 	}
 }
 
@@ -197,7 +228,9 @@ func (c *Cluster) SetRetry(rp RetryPolicy) {
 func (c *Cluster) SetRequestTimeout(d time.Duration) {
 	c.reqTimeout = d
 	for _, node := range c.nodes {
-		node.SetRequestTimeout(d)
+		if node != nil {
+			node.SetRequestTimeout(d)
+		}
 	}
 }
 
@@ -216,6 +249,14 @@ func (c *Cluster) Close() {
 // (the read-failover ranking). Returns the migration transfer cost (each
 // new replica fetched from the nearest prior holder).
 func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
+	if c.current == nil {
+		return 0, errors.New("netnode: deployed plan has no scheme form; use ApplyPlan")
+	}
+	nextPlan, err := plan.FromSchemeView(next, membership.View{Epoch: c.plan.View.Epoch, Members: c.members})
+	if err != nil {
+		return 0, err
+	}
+	nextPlan.Epoch = c.plan.Epoch
 	migration := c.current.MigrationCost(next)
 	added, removed := c.current.Diff(next)
 	for _, pl := range added {
@@ -246,7 +287,7 @@ func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
 		if err := c.command(c.p.Primary(k), message{Op: "registry", Object: k, Sites: repl}); err != nil {
 			return 0, err
 		}
-		for i := 0; i < c.p.Sites(); i++ {
+		for _, i := range c.members {
 			if err := c.command(i, message{Op: "nearest", Object: k, Site: nearest.Nearest(i, k)}); err != nil {
 				return 0, err
 			}
@@ -256,6 +297,7 @@ func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
 		}
 	}
 	c.current = next.Clone()
+	c.plan = nextPlan
 	return migration, nil
 }
 
@@ -273,6 +315,9 @@ func (c *Cluster) command(site int, msg message) error {
 }
 
 func (c *Cluster) exchange(site int, msg message) (reply, error) {
+	if c.nodes[site] == nil {
+		return reply{}, fmt.Errorf("netnode: site %d is not a member", site)
+	}
 	addr := c.nodes[site].Addr()
 	attempts := c.retry.Attempts
 	if attempts < 1 {
@@ -330,7 +375,7 @@ func (c *Cluster) DriveTrafficReport() (*TrafficReport, error) {
 
 func (c *Cluster) driveTraffic(tolerate bool) (*TrafficReport, error) {
 	rep := &TrafficReport{}
-	for i := 0; i < c.p.Sites(); i++ {
+	for _, i := range c.members {
 		for k := 0; k < c.p.Objects(); k++ {
 			for r := int64(0); r < c.p.Reads(i, k); r++ {
 				if c.hook != nil {
@@ -373,6 +418,9 @@ func (c *Cluster) driveTraffic(tolerate bool) (*TrafficReport, error) {
 func (c *Cluster) FlushPending() (int64, error) {
 	var total int64
 	for _, node := range c.nodes {
+		if node == nil {
+			continue
+		}
 		cost, err := node.FlushPending()
 		total += cost
 		if err != nil {
@@ -386,7 +434,9 @@ func (c *Cluster) FlushPending() (int64, error) {
 func (c *Cluster) PendingWrites() int {
 	total := 0
 	for _, node := range c.nodes {
-		total += node.PendingWrites()
+		if node != nil {
+			total += node.PendingWrites()
+		}
 	}
 	return total
 }
@@ -400,7 +450,7 @@ func (c *Cluster) Reconcile() (int64, int, error) {
 	var total int64
 	remaining := 0
 	for k := 0; k < c.p.Objects(); k++ {
-		sp := c.p.Primary(k)
+		sp := c.plan.Primaries[k]
 		resp, err := c.exchange(sp, message{Op: "reconcile", Object: k})
 		if err != nil {
 			return total, remaining, fmt.Errorf("reconcile object %d: %w", k, err)

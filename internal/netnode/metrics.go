@@ -135,6 +135,8 @@ func (n *Node) SetMetrics(reg *metrics.Registry) {
 func (c *Cluster) EnableMetrics(reg *metrics.Registry) {
 	c.metricsReg = reg
 	for _, node := range c.nodes {
-		node.SetMetrics(reg)
+		if node != nil {
+			node.SetMetrics(reg)
+		}
 	}
 }

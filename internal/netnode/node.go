@@ -435,7 +435,7 @@ func (n *Node) handle(msg message) reply {
 		// broadcast it to every other replicator. Unreachable replicators
 		// are marked stale instead of failing the write. The version stamp
 		// hits the log before anything is acknowledged or broadcast.
-		if n.p.Primary(msg.Object) != n.site {
+		if n.st.PrimaryOf(msg.Object) != n.site {
 			return reply{Code: CodeNotPrimary, Err: fmt.Sprintf("site %d is not the primary of object %d", n.site, msg.Object)}
 		}
 		version, err := n.st.BumpVersion(msg.Object)
@@ -466,7 +466,7 @@ func (n *Node) handle(msg message) reply {
 		return reply{OK: true}
 
 	case "drop":
-		if n.p.Primary(msg.Object) == n.site {
+		if n.st.PrimaryOf(msg.Object) == n.site {
 			return reply{Code: CodeNotPrimary, Err: "cannot drop a primary copy"}
 		}
 		if err := n.st.Drop(msg.Object); err != nil {
@@ -486,7 +486,7 @@ func (n *Node) handle(msg message) reply {
 		// marks for sites no longer replicating the object are dropped —
 		// there is nothing left to reconcile at them. One log record
 		// covers both (store.SetRegistry).
-		if n.p.Primary(msg.Object) != n.site {
+		if n.st.PrimaryOf(msg.Object) != n.site {
 			return reply{Code: CodeNotPrimary, Err: "registry update sent to a non-primary"}
 		}
 		if code, err := checkSites(msg.Sites, n.p.Sites()); err != nil {
@@ -517,12 +517,25 @@ func (n *Node) handle(msg message) reply {
 		}
 		return reply{OK: true}
 
+	case "primary":
+		// The coordinator promotes a new primary for the object; every
+		// member learns the same routing record, and the promotion hits the
+		// log before it is acknowledged. Re-asserting the current primary
+		// is a no-op, which makes plan resume idempotent.
+		if msg.Site < 0 || msg.Site >= n.p.Sites() {
+			return reply{Code: CodeBadSite, Err: "primary site out of range"}
+		}
+		if err := n.st.SetPrimary(msg.Object, msg.Site); err != nil {
+			return storageReply(err)
+		}
+		return reply{OK: true}
+
 	case "reconcile":
 		// The coordinator asks the primary to re-sync every replica that
 		// missed a broadcast. Each successful re-sync is a fresh transfer
 		// of the object and is accounted as such; replicas still
 		// unreachable stay marked and are reported back.
-		if n.p.Primary(msg.Object) != n.site {
+		if n.st.PrimaryOf(msg.Object) != n.site {
 			return reply{Code: CodeNotPrimary, Err: "reconcile sent to a non-primary"}
 		}
 		cost, remaining, err := n.reconcile(msg.Object)
@@ -629,25 +642,28 @@ func (n *Node) reconcile(obj int) (int64, []int, error) {
 	return cost, remaining, nil
 }
 
-// readCandidates returns the replicas to try for a read of obj, nearest
-// first, then the remaining replicators ordered by transfer cost from this
-// site (ties broken by site index) — the exact ranking eq. 4's min C(i,j)
-// induces once dead sites are excluded.
-func (n *Node) readCandidates(obj, nearest int, replicas []int) []int {
-	rest := make([]int, 0, len(replicas))
-	for _, j := range replicas {
-		if j != nearest && j != n.site {
-			rest = append(rest, j)
+// readCandidates returns the replicas to try for a read of obj: the
+// recorded nearest first (it is the policy's authoritative SN_k(i)
+// record), then the remaining replicators in core.RankReplicas order —
+// ascending transfer cost from this site, ties broken by site index.
+// Sites with no peer address (departed from the membership view) are
+// skipped entirely, so the failover order over the surviving replicas is
+// deterministic.
+func (n *Node) readCandidates(obj, nearest int, replicas []int, peers []string) []int {
+	inView := func(j int) bool {
+		return j != n.site && j < len(peers) && peers[j] != ""
+	}
+	ranked := core.RankReplicas(n.p, n.site, replicas, inView)
+	out := make([]int, 0, len(ranked)+1)
+	if nearest >= 0 && inView(nearest) {
+		out = append(out, nearest)
+	}
+	for _, j := range ranked {
+		if j != nearest {
+			out = append(out, j)
 		}
 	}
-	sort.Slice(rest, func(a, b int) bool {
-		ca, cb := n.p.Cost(n.site, rest[a]), n.p.Cost(n.site, rest[b])
-		if ca != cb {
-			return ca < cb
-		}
-		return rest[a] < rest[b]
-	})
-	return append([]int{nearest}, rest...)
+	return out
 }
 
 // Read performs a client read from this node: served locally if a replica
@@ -674,11 +690,7 @@ func (n *Node) Read(obj int) (int64, error) {
 		return 0, nil
 	}
 	var lastErr error
-	for idx, j := range n.readCandidates(obj, target, replicas) {
-		if j < 0 || j >= len(peers) {
-			lastErr = fmt.Errorf("netnode: no address for site %d", j)
-			continue
-		}
+	for idx, j := range n.readCandidates(obj, target, replicas, peers) {
 		resp, err := n.call(peers[j], message{Op: "read", Object: obj})
 		if err != nil {
 			lastErr = err
@@ -726,7 +738,7 @@ func (n *Node) Write(obj int) (int64, error) {
 	n.mu.Lock()
 	nm := n.metrics
 	n.mu.Unlock()
-	sp := n.p.Primary(obj)
+	sp := n.st.PrimaryOf(obj)
 	var cost int64
 	if sp == n.site {
 		// Local primary: no shipping; bump the version and broadcast.
@@ -791,7 +803,7 @@ func (n *Node) FlushPending() (int64, error) {
 	sort.Ints(objs)
 	var total int64
 	for _, obj := range objs {
-		sp := n.p.Primary(obj)
+		sp := n.st.PrimaryOf(obj)
 		if sp >= len(peers) {
 			return total, fmt.Errorf("netnode: no address for primary site %d", sp)
 		}

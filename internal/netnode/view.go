@@ -1,0 +1,607 @@
+package netnode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"drp/internal/core"
+	"drp/internal/membership"
+	"drp/internal/plan"
+	"drp/internal/store"
+	"drp/internal/xrand"
+)
+
+// This file is the data-plane half of the control/data-plane split: a
+// Cluster whose member set changes at runtime (Join/Leave) and whose
+// placement moves by applying versioned plans (ApplyPlan) instead of raw
+// scheme diffs. The node slice stays universe-indexed — a non-member site
+// is simply a nil slot — so site indices on the wire never need
+// translation.
+//
+// Invariants:
+//   - the initial member set contains every universe primary site, so a
+//     later joiner bootstraps empty (no object is universe-primaried at
+//     it) and a rejoining site is resynchronised by Join;
+//   - plans are journaled before the first migration step executes, so a
+//     coordinator restart resumes the remainder by diffing the journaled
+//     target against what the sites actually hold (ResumeMigration);
+//   - migration order is copies → promotes → routing refresh → drops:
+//     replicas copy in before anything routes to them, and a departing
+//     site keeps serving (drains) until the plan stops placing on it.
+
+// ApplyReport accounts one ApplyPlan or ResumeMigration run.
+type ApplyReport struct {
+	// Steps is the length of the migration step list the plan diff
+	// produced; Completed counts the steps that executed.
+	Steps, Completed int
+	// MigrationNTC is the transfer cost of the completed copy steps —
+	// exactly the a-priori sum of their Step.Cost fields.
+	MigrationNTC int64
+}
+
+// ErrNotDrained reports a Leave of a site the current plan still places
+// replicas (or a primary) on. Apply a plan that migrates the site empty
+// first.
+var ErrNotDrained = errors.New("netnode: site not drained")
+
+// StartView boots a memory-backed cluster over the member subset of the
+// universe problem. Members must include every universe primary site; the
+// initial plan is the primaries-only placement over that view.
+func StartView(p *core.Problem, members []int) (*Cluster, error) {
+	ms, err := checkMembers(p, members)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkPrimariesCovered(p, ms); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		p:       p,
+		nodes:   make([]*Node, p.Sites()),
+		members: ms,
+		retry:   RetryPolicy{Attempts: 1},
+		rng:     xrand.New(0x10ad),
+	}
+	for _, i := range ms {
+		node, err := Listen(p, i, "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes[i] = node
+	}
+	c.rewirePeers()
+	c.current = core.NewScheme(p)
+	c.plan, err = plan.FromSchemeView(c.current, membership.View{Members: ms})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// StartDurableView boots a durable cluster over the member subset, each
+// member replaying its WAL from root/site-NNN. The deployed plan is
+// reconstructed from the recovered holdings and primary records — a
+// universe primary site may be absent as long as every object still has
+// a member holder and a member primary (i.e. it was drained by an
+// earlier plan before leaving); if a journal is attached afterwards,
+// ResumeMigration finishes any migration the previous incarnation had
+// journaled but not completed.
+func StartDurableView(p *core.Problem, root string, opts store.Options, members []int) (*Cluster, error) {
+	if root == "" {
+		return nil, errors.New("netnode: StartDurableView needs a data directory")
+	}
+	ms, err := checkMembers(p, members)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		p:         p,
+		nodes:     make([]*Node, p.Sites()),
+		members:   ms,
+		retry:     RetryPolicy{Attempts: 1},
+		rng:       xrand.New(0x10ad),
+		dataDir:   root,
+		storeOpts: opts,
+	}
+	for _, i := range ms {
+		st, err := store.Open(SiteDir(root, i), i, primaries(p), opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		node, err := ListenStore(p, i, "127.0.0.1:0", st)
+		if err != nil {
+			_ = st.Close()
+			c.Close()
+			return nil, err
+		}
+		c.nodes[i] = node
+	}
+	c.rewirePeers()
+	c.plan = c.actualPlan()
+	for k := 0; k < p.Objects(); k++ {
+		if len(c.plan.Placement[k]) == 0 {
+			c.Close()
+			return nil, fmt.Errorf("netnode: no member holds object %d; its primary site %d must be in the member set or the object migrated before it left", k, p.Primary(k))
+		}
+		if !c.isMember(c.plan.Primaries[k]) {
+			c.Close()
+			return nil, fmt.Errorf("netnode: recovered primary of object %d is site %d, which is not a member", k, c.plan.Primaries[k])
+		}
+	}
+	c.current = schemeOfPlan(p, c.plan)
+	return c, nil
+}
+
+// checkMembers validates and normalises an initial member set.
+func checkMembers(p *core.Problem, members []int) ([]int, error) {
+	ms := append([]int(nil), members...)
+	sort.Ints(ms)
+	if len(ms) == 0 {
+		return nil, errors.New("netnode: need at least one member")
+	}
+	for i, m := range ms {
+		if m < 0 || m >= p.Sites() {
+			return nil, fmt.Errorf("netnode: member %d outside universe of %d sites", m, p.Sites())
+		}
+		if i > 0 && ms[i-1] == m {
+			return nil, fmt.Errorf("netnode: duplicate member %d", m)
+		}
+	}
+	return ms, nil
+}
+
+// checkPrimariesCovered requires every universe primary site to be a
+// member — the condition for a fresh (empty-store) boot, where each
+// object's only replica bootstraps at its universe primary.
+func checkPrimariesCovered(p *core.Problem, members []int) error {
+	in := make(map[int]bool, len(members))
+	for _, m := range members {
+		in[m] = true
+	}
+	for k := 0; k < p.Objects(); k++ {
+		if !in[p.Primary(k)] {
+			return fmt.Errorf("netnode: members must cover every primary site; object %d is primaried at absent site %d", k, p.Primary(k))
+		}
+	}
+	return nil
+}
+
+// rewirePeers rebuilds the universe-indexed address table and pushes it
+// to every live node. Absent sites keep an empty address, which dials
+// fail on — exactly like a dead site.
+func (c *Cluster) rewirePeers() {
+	addrs := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		if n != nil {
+			addrs[i] = n.Addr()
+		}
+	}
+	for _, n := range c.nodes {
+		if n != nil {
+			n.SetPeers(addrs)
+		}
+	}
+}
+
+// Members returns the current member sites, ascending.
+func (c *Cluster) Members() []int {
+	return append([]int(nil), c.members...)
+}
+
+// Plan returns the currently deployed placement plan.
+func (c *Cluster) Plan() *plan.Plan {
+	if c.plan == nil {
+		return nil
+	}
+	return c.plan.Clone()
+}
+
+// AttachJournal wires the coordinator journal in: every ApplyPlan records
+// its target plan before executing a single step, and ResumeMigration
+// finishes the remainder after a restart.
+func (c *Cluster) AttachJournal(j *store.Journal) { c.journal = j }
+
+// SetStepHook installs fn to run immediately before every migration step
+// ApplyPlan or ResumeMigration executes. The chaos tests use it to kill
+// nodes at exact points of a migration.
+func (c *Cluster) SetStepHook(fn func(plan.Step)) { c.stepHook = fn }
+
+// Join adds a site to the cluster: boot its node (replaying its WAL in
+// durable mode), rewire the address tables, and resynchronise its routing
+// state with the deployed plan — the current primary of every object, a
+// drop of any replica the plan no longer places at it (a rejoining former
+// primary), and the nearest/replicas tables under the given cost
+// function. The placement itself does not change: the control plane
+// migrates replicas onto the joiner with a subsequent plan.
+func (c *Cluster) Join(site int, cost plan.CostFn) (*Node, error) {
+	if site < 0 || site >= c.p.Sites() {
+		return nil, fmt.Errorf("netnode: site %d outside universe", site)
+	}
+	if c.isMember(site) {
+		return nil, fmt.Errorf("netnode: site %d is already a member", site)
+	}
+	var st *store.Store
+	var err error
+	if c.dataDir != "" {
+		st, err = store.Open(SiteDir(c.dataDir, site), site, primaries(c.p), c.storeOpts)
+	} else {
+		st = store.Memory(site, primaries(c.p))
+	}
+	if err != nil {
+		return nil, err
+	}
+	node, err := ListenStore(c.p, site, "127.0.0.1:0", st)
+	if err != nil {
+		_ = st.Close()
+		return nil, err
+	}
+	node.SetRetry(c.retry)
+	node.SetRequestTimeout(c.reqTimeout)
+	if c.metricsReg != nil {
+		node.SetMetrics(c.metricsReg)
+	}
+	c.nodes[site] = node
+	c.members = append(c.members, site)
+	sort.Ints(c.members)
+	c.rewirePeers()
+	if err := c.syncJoined(site, cost); err != nil {
+		return node, fmt.Errorf("netnode: join sync for site %d: %w", site, err)
+	}
+	return node, nil
+}
+
+// syncJoined pushes the deployed plan's routing state to a joined site.
+func (c *Cluster) syncJoined(site int, cost plan.CostFn) error {
+	node := c.nodes[site]
+	for k := 0; k < c.p.Objects(); k++ {
+		sp := c.plan.Primaries[k]
+		if node.st.PrimaryOf(k) != sp {
+			if err := c.command(site, message{Op: "primary", Object: k, Site: sp}); err != nil {
+				return err
+			}
+		}
+		if node.Holds(k) && !c.plan.Has(site, k) {
+			// A rejoining site that was drained while away (memory mode
+			// re-bootstraps its universe primaries; a crashed WAL can hold
+			// pre-drain state).
+			if err := c.command(site, message{Op: "drop", Object: k}); err != nil {
+				return err
+			}
+		}
+		if err := c.command(site, message{Op: "nearest", Object: k, Site: nearestOf(c.plan, site, k, cost)}); err != nil {
+			return err
+		}
+		if err := c.command(site, message{Op: "replicas", Object: k, Sites: c.plan.Placement[k]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Leave removes a drained site: the deployed plan must place nothing on
+// it and route no primary to it. The node shuts down cleanly (flushing
+// its log, which in durable mode preserves its directory for a later
+// rejoin) and its slot goes nil.
+func (c *Cluster) Leave(site int) error {
+	if !c.isMember(site) {
+		return fmt.Errorf("netnode: site %d is not a member", site)
+	}
+	if len(c.members) == 1 {
+		return errors.New("netnode: cannot remove the last member")
+	}
+	for k := 0; k < c.p.Objects(); k++ {
+		if c.plan.Primaries[k] == site {
+			return fmt.Errorf("%w: site %d is still the primary of object %d", ErrNotDrained, site, k)
+		}
+		if c.plan.Has(site, k) {
+			return fmt.Errorf("%w: site %d still holds object %d", ErrNotDrained, site, k)
+		}
+	}
+	err := c.nodes[site].Close()
+	c.nodes[site] = nil
+	keep := c.members[:0]
+	for _, m := range c.members {
+		if m != site {
+			keep = append(keep, m)
+		}
+	}
+	c.members = keep
+	c.rewirePeers()
+	return err
+}
+
+func (c *Cluster) isMember(site int) bool {
+	i := sort.SearchInts(c.members, site)
+	return i < len(c.members) && c.members[i] == site
+}
+
+// ApplyPlan migrates the data plane from the deployed plan to next: the
+// target is journaled first (when a journal is attached), then the
+// ordered diff executes — copies along min-cost paths, primary
+// promotions broadcast to every member, a routing refresh (registries,
+// nearest tables, failover rankings), and finally the drops. Reads keep
+// serving throughout: a site never loses a replica another site's
+// routing still points at. Returns the migration accounting; on error
+// the report covers the completed prefix and ResumeMigration (after the
+// fault clears) finishes the remainder.
+func (c *Cluster) ApplyPlan(next *plan.Plan, cost plan.CostFn) (*ApplyReport, error) {
+	if err := next.Validate(c.p); err != nil {
+		return nil, err
+	}
+	for _, m := range next.View.Members {
+		if !c.isMember(m) {
+			return nil, fmt.Errorf("netnode: plan epoch %d places on site %d which has not joined", next.Epoch, m)
+		}
+	}
+	steps, err := plan.Diff(c.plan, next, c.p, cost)
+	if err != nil {
+		return nil, err
+	}
+	if c.journal != nil {
+		data, err := next.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.journal.RecordPlan(next.Epoch, data); err != nil {
+			return nil, fmt.Errorf("netnode: journal plan: %w", err)
+		}
+	}
+	rep := &ApplyReport{Steps: len(steps)}
+	if err := c.runSteps(steps, c.plan, next, cost, rep); err != nil {
+		return rep, err
+	}
+	c.plan = next.Clone()
+	c.current = schemeOfPlan(c.p, c.plan)
+	return rep, nil
+}
+
+// runSteps executes an ordered step list. The list arrives phase-ordered
+// (copies, promotes, drops); the routing refresh for every touched object
+// runs after the promotes so no drop happens while a nearest record still
+// points at the dropping site.
+func (c *Cluster) runSteps(steps []plan.Step, old, next *plan.Plan, cost plan.CostFn, rep *ApplyReport) error {
+	touched := make(map[int]bool)
+	for _, s := range steps {
+		touched[s.Object] = true
+	}
+	refreshed := false
+	for _, s := range steps {
+		if s.Kind == plan.Drop && !refreshed {
+			if err := c.refreshRouting(touched, next, cost); err != nil {
+				return err
+			}
+			refreshed = true
+		}
+		if c.stepHook != nil {
+			c.stepHook(s)
+		}
+		if err := c.runStep(s, old); err != nil {
+			return err
+		}
+		rep.Completed++
+		if s.Kind == plan.Copy {
+			rep.MigrationNTC += s.Cost
+		}
+	}
+	if !refreshed {
+		if err := c.refreshRouting(touched, next, cost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) runStep(s plan.Step, old *plan.Plan) error {
+	switch s.Kind {
+	case plan.Copy:
+		// The new replica adopts the current primary's version: a copy is
+		// a fetch of the latest acknowledged write.
+		sp := old.Primaries[s.Object]
+		var version int64
+		if node := c.nodes[sp]; node != nil {
+			version = node.Version(s.Object)
+		}
+		return c.command(s.Site, message{Op: "place", Object: s.Object, Version: version})
+	case plan.Promote:
+		// Every member learns the new primary, so writes route correctly
+		// no matter where they originate.
+		for _, m := range c.members {
+			if err := c.command(m, message{Op: "primary", Object: s.Object, Site: s.Site}); err != nil {
+				return err
+			}
+		}
+		return nil
+	case plan.Drop:
+		return c.command(s.Site, message{Op: "drop", Object: s.Object})
+	default:
+		return fmt.Errorf("netnode: unknown step kind %v", s.Kind)
+	}
+}
+
+// refreshRouting pushes the next plan's routing state for the touched
+// objects: the registry to each object's primary, and the nearest record
+// plus failover ranking to every member.
+func (c *Cluster) refreshRouting(touched map[int]bool, next *plan.Plan, cost plan.CostFn) error {
+	objs := make([]int, 0, len(touched))
+	for k := range touched {
+		objs = append(objs, k)
+	}
+	sort.Ints(objs)
+	for _, k := range objs {
+		repl := next.Placement[k]
+		if err := c.command(next.Primaries[k], message{Op: "registry", Object: k, Sites: repl}); err != nil {
+			return err
+		}
+		for _, m := range c.members {
+			if err := c.command(m, message{Op: "nearest", Object: k, Site: nearestOf(next, m, k, cost)}); err != nil {
+				return err
+			}
+			if err := c.command(m, message{Op: "replicas", Object: k, Sites: repl}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// nearestOf returns the plan's nearest replica of object k from site i
+// (itself, when it holds one), ties broken by lowest site index.
+func nearestOf(pl *plan.Plan, i, k int, cost plan.CostFn) int {
+	if pl.Has(i, k) {
+		return i
+	}
+	best, bestCost := -1, int64(0)
+	for _, j := range pl.Placement[k] {
+		d := cost(i, j)
+		if d < 0 {
+			continue
+		}
+		if best < 0 || d < bestCost {
+			best, bestCost = j, d
+		}
+	}
+	if best < 0 {
+		// No member-reachable replica (disconnected cost function); fall
+		// back to the first holder so the record stays in range.
+		return pl.Placement[k][0]
+	}
+	return best
+}
+
+// actualPlan reconstructs the placement the data plane actually holds:
+// replica sets from the members' (possibly just replayed) holdings and
+// primaries from their routing records. Where members disagree on a
+// primary — a crash landed mid-promotion — the dissenting value is kept,
+// which forces the resume diff to re-broadcast the promotion (the
+// "primary" op is idempotent).
+func (c *Cluster) actualPlan() *plan.Plan {
+	pl := &plan.Plan{
+		View:      membership.View{Members: append([]int(nil), c.members...)},
+		Primaries: make([]int, c.p.Objects()),
+		Placement: make([][]int, c.p.Objects()),
+	}
+	for k := 0; k < c.p.Objects(); k++ {
+		var sites []int
+		for _, m := range c.members {
+			if c.nodes[m] != nil && c.nodes[m].Holds(k) {
+				sites = append(sites, m)
+			}
+		}
+		pl.Placement[k] = sites
+		sp := -1
+		for _, m := range c.members {
+			if c.nodes[m] == nil {
+				continue
+			}
+			v := c.nodes[m].st.PrimaryOf(k)
+			if sp < 0 {
+				sp = v
+			} else if v != sp {
+				// Disagreement: prefer a value that differs from any one
+				// member's, so the promote re-runs. Keeping the smaller site
+				// is deterministic.
+				if v < sp {
+					sp = v
+				}
+			}
+		}
+		if sp < 0 {
+			sp = c.p.Primary(k)
+		}
+		pl.Primaries[k] = sp
+	}
+	return pl
+}
+
+// ResumeMigration finishes a migration interrupted by a crash: the
+// journaled target plan is diffed against what the members actually hold
+// and the remainder executes. Returns (report, resumed): resumed is false
+// when no journal is attached, the journal holds no plan, or the target
+// is already fully realised. The completed prefix of the original run is
+// never re-executed or re-accounted — the diff starts from the actual
+// holdings.
+func (c *Cluster) ResumeMigration(cost plan.CostFn) (*ApplyReport, bool, error) {
+	if c.journal == nil {
+		return nil, false, nil
+	}
+	_, data, ok := c.journal.LatestPlan()
+	if !ok {
+		return nil, false, nil
+	}
+	target, err := plan.Unmarshal(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("netnode: journaled plan: %w", err)
+	}
+	if err := target.Validate(c.p); err != nil {
+		return nil, false, fmt.Errorf("netnode: journaled plan: %w", err)
+	}
+	for _, m := range target.View.Members {
+		if !c.isMember(m) {
+			return nil, false, fmt.Errorf("netnode: journaled plan places on site %d which has not joined", m)
+		}
+	}
+	actual := c.actualPlan()
+	steps, err := plan.Diff(actual, target, c.p, cost)
+	if err != nil {
+		return nil, false, err
+	}
+	rep := &ApplyReport{Steps: len(steps)}
+	if len(steps) == 0 {
+		// Nothing left to move; still adopt the target as the deployed
+		// plan (epoch, view) and make sure the routing state matches it.
+		all := make(map[int]bool)
+		for k := 0; k < c.p.Objects(); k++ {
+			all[k] = true
+		}
+		if err := c.refreshRouting(all, target, cost); err != nil {
+			return rep, true, err
+		}
+		c.plan = target
+		c.current = schemeOfPlan(c.p, c.plan)
+		return rep, true, nil
+	}
+	if err := c.runSteps(steps, actual, target, cost, rep); err != nil {
+		return rep, true, err
+	}
+	// The interrupted run may have fully migrated objects that the
+	// remainder diff no longer touches, leaving their routing records at
+	// the pre-migration state — refresh everything, not just the
+	// remainder's objects.
+	all := make(map[int]bool)
+	for k := 0; k < c.p.Objects(); k++ {
+		all[k] = true
+	}
+	if err := c.refreshRouting(all, target, cost); err != nil {
+		return rep, true, err
+	}
+	c.plan = target
+	c.current = schemeOfPlan(c.p, c.plan)
+	return rep, true, nil
+}
+
+// schemeOfPlan rebuilds the legacy scheme representation of a plan, used
+// by the scheme-diff Deploy path and Scheme accessor. A plan that moved a
+// primary off its universe site (or drained that site) cannot be a
+// core.Scheme — those invariants are exactly what the plan type relaxes —
+// so the result is nil and the scheme-based API reports unavailability.
+func schemeOfPlan(p *core.Problem, pl *plan.Plan) *core.Scheme {
+	s := core.NewScheme(p)
+	for k := 0; k < p.Objects(); k++ {
+		if pl.Primaries[k] != p.Primary(k) || !pl.Has(p.Primary(k), k) {
+			return nil
+		}
+		for _, site := range pl.Placement[k] {
+			if site == p.Primary(k) {
+				continue
+			}
+			if err := s.Add(site, k); err != nil {
+				return nil
+			}
+		}
+	}
+	return s
+}

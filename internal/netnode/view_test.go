@@ -1,0 +1,356 @@
+package netnode
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"drp/internal/core"
+	"drp/internal/membership"
+	"drp/internal/netsim"
+	"drp/internal/plan"
+	"drp/internal/sra"
+	"drp/internal/store"
+)
+
+// viewProblem builds a 5-site universe on a line topology
+// (0 -2- 1 -1- 2 -2- 3 -1- 4) whose primaries all live on sites 0..3, so
+// a cluster can boot on those four members and site 4 can join later.
+func viewProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	topo := netsim.NewTopology(5)
+	for _, l := range [][3]int64{{0, 1, 2}, {1, 2, 1}, {2, 3, 2}, {3, 4, 1}} {
+		if err := topo.AddLink(int(l[0]), int(l[1]), l[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dist, err := topo.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(core.Config{
+		Sizes:      []int64{4, 3, 2, 5},
+		Capacities: []int64{14, 14, 14, 14, 14},
+		Primaries:  []int{0, 1, 2, 3},
+		Reads: [][]int64{
+			{36, 8, 4, 0},
+			{12, 32, 8, 4},
+			{4, 12, 28, 8},
+			{0, 4, 12, 36},
+			{24, 4, 8, 28},
+		},
+		Writes: [][]int64{
+			{2, 0, 1, 0},
+			{0, 2, 0, 1},
+			{1, 0, 2, 0},
+			{0, 1, 0, 2},
+			{1, 0, 1, 1},
+		},
+		Dist: dist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// universePrimaries returns the problem's primary sites per object.
+func universePrimaries(p *core.Problem) []int {
+	sp := make([]int, p.Objects())
+	for k := range sp {
+		sp[k] = p.Primary(k)
+	}
+	return sp
+}
+
+// solveView runs the static greedy over the view-restricted problem and
+// lifts the result to a universe plan with the given epoch.
+func solveView(t *testing.T, p *core.Problem, view membership.View, primaries []int, sub *netsim.DistMatrix, epoch int) (*plan.Plan, int64) {
+	t.Helper()
+	rp, err := plan.Restrict(p, view, primaries, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sra.Run(rp, sra.Options{})
+	pl := plan.Lift(view, res.Scheme)
+	pl.Epoch = epoch
+	if err := pl.Validate(p); err != nil {
+		t.Fatalf("lifted plan invalid: %v", err)
+	}
+	return pl, res.Scheme.Cost()
+}
+
+// subFor builds the member-to-member distance matrix of a view straight
+// from the universe metric (valid here because the universe distances
+// obey the triangle inequality, so restricting sites does not reroute).
+func subFor(p *core.Problem, members []int) *netsim.DistMatrix {
+	sub := netsim.NewDistMatrix(len(members))
+	for a, i := range members {
+		for b, j := range members {
+			sub.Set(a, b, p.Cost(i, j))
+		}
+	}
+	return sub
+}
+
+// TestViewClusterJoinMigrateLeave is the end-to-end membership scenario:
+// a 4-site durable cluster serves its solved placement, a 5th site joins
+// and a re-solved plan migrates replicas onto it while reads keep being
+// served, then an original site is drained and removed. Driven traffic
+// matches the restricted solver's exact eq. 4 cost at every stage, and
+// the survivors' state is byte-identical across a full restart.
+func TestViewClusterJoinMigrateLeave(t *testing.T) {
+	p := viewProblem(t)
+	root := t.TempDir()
+	tr, err := membership.NewTracker(netsim.Complete(p.Dist()), []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := StartDurableView(p, root, store.Options{}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	j, err := store.OpenJournal(filepath.Join(root, "coord"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	c.AttachJournal(j)
+
+	// Stage 1: solve and deploy over the founding four members.
+	sub4, siteMap := tr.SubMatrix()
+	view4 := tr.View()
+	if len(siteMap) != 4 {
+		t.Fatalf("site map %v", siteMap)
+	}
+	pl4, cost4 := solveView(t, p, view4, universePrimaries(p), sub4, 1)
+	if _, err := c.ApplyPlan(pl4, tr.Cost); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DriveTraffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cost4 {
+		t.Fatalf("stage 1 driven NTC %d, solver cost %d", got, cost4)
+	}
+
+	// Stage 2: site 4 joins; re-solve over five members and migrate.
+	// Reads must keep serving at every step of the migration.
+	if _, err := tr.JoinSite(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join(4, tr.Cost); err != nil {
+		t.Fatal(err)
+	}
+	sub5, _ := tr.SubMatrix()
+	pl5, cost5 := solveView(t, p, tr.View(), universePrimaries(p), sub5, 2)
+	steps, err := plan.Diff(c.Plan(), pl5, p, tr.Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrationReads := 0
+	c.SetStepHook(func(plan.Step) {
+		for k := 0; k < p.Objects(); k++ {
+			if _, err := c.Node(1).Read(k); err != nil {
+				t.Errorf("read of object %d failed mid-migration: %v", k, err)
+			}
+			migrationReads++
+		}
+	})
+	rep, err := c.ApplyPlan(pl5, tr.Cost)
+	c.SetStepHook(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Steps || rep.Steps != len(steps) {
+		t.Fatalf("migration ran %d/%d steps, diff had %d", rep.Completed, rep.Steps, len(steps))
+	}
+	if want := plan.TotalCost(steps); rep.MigrationNTC != want {
+		t.Fatalf("migration NTC %d, a-priori diff cost %d", rep.MigrationNTC, want)
+	}
+	if len(steps) == 0 || migrationReads == 0 {
+		t.Fatalf("expected a non-trivial migration with mid-flight reads (steps %d, reads %d)", len(steps), migrationReads)
+	}
+	if got, err = c.DriveTraffic(); err != nil {
+		t.Fatal(err)
+	}
+	if got != cost5 {
+		t.Fatalf("stage 2 driven NTC %d, solver cost %d", got, cost5)
+	}
+
+	// Stage 3: drain site 0 — its primaries move to site 1 (the nearest
+	// survivor), a plan over the remaining four members migrates
+	// everything off it, and only then does it leave.
+	members4b := []int{1, 2, 3, 4}
+	view4b := membership.View{Epoch: view4.Epoch + 2, Members: members4b}
+	prim4b := universePrimaries(p)
+	for k, sp := range prim4b {
+		if sp == 0 {
+			prim4b[k] = 1
+		}
+	}
+	pcost := func(i, j int) int64 { return p.Cost(i, j) }
+	pl4b, cost4b := solveView(t, p, view4b, prim4b, subFor(p, members4b), 3)
+	if _, err := c.ApplyPlan(pl4b, pcost); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(0) != nil {
+		t.Fatal("departed site still has a live node")
+	}
+	if got, err = c.DriveTraffic(); err != nil {
+		t.Fatal(err)
+	}
+	if got != cost4b {
+		t.Fatalf("stage 3 driven NTC %d, solver cost %d", got, cost4b)
+	}
+
+	// Restart the survivors from disk: state must be byte-identical and
+	// the recovered plan must match a fresh solve on the final view.
+	want := make(map[int][]byte)
+	for _, m := range members4b {
+		want[m] = c.Node(m).Store().EncodeState()
+	}
+	c.Close()
+	c2, err := StartDurableView(p, root, store.Options{}, members4b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for _, m := range members4b {
+		if got := c2.Node(m).Store().EncodeState(); !bytes.Equal(got, want[m]) {
+			t.Fatalf("site %d state diverged across restart:\n  %s\n  %s", m, want[m], got)
+		}
+	}
+	rec := c2.Plan()
+	for k := 0; k < p.Objects(); k++ {
+		if rec.Primaries[k] != pl4b.Primaries[k] {
+			t.Fatalf("recovered primary of object %d is %d, plan says %d", k, rec.Primaries[k], pl4b.Primaries[k])
+		}
+		if len(rec.Placement[k]) != len(pl4b.Placement[k]) {
+			t.Fatalf("recovered placement of object %d is %v, plan says %v", k, rec.Placement[k], pl4b.Placement[k])
+		}
+		for x := range rec.Placement[k] {
+			if rec.Placement[k][x] != pl4b.Placement[k][x] {
+				t.Fatalf("recovered placement of object %d is %v, plan says %v", k, rec.Placement[k], pl4b.Placement[k])
+			}
+		}
+	}
+}
+
+// TestViewClusterResumeAfterCrashMidMigration kills the destination node
+// of a copy step mid-migration, restarts the whole cluster from disk and
+// resumes from the journaled plan: the remainder executes exactly once,
+// its transfer cost matches the a-priori diff against the actual
+// holdings, and a second resume finds nothing left to do.
+func TestViewClusterResumeAfterCrashMidMigration(t *testing.T) {
+	p := viewProblem(t)
+	root := t.TempDir()
+	members := []int{0, 1, 2, 3, 4}
+	c, err := StartDurableView(p, root, store.Options{}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	j, err := store.OpenJournal(filepath.Join(root, "coord"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachJournal(j)
+	pcost := func(i, j int) int64 { return p.Cost(i, j) }
+	view := membership.View{Epoch: 1, Members: members}
+	target, targetCost := solveView(t, p, view, universePrimaries(p), subFor(p, members), 1)
+	steps, err := plan.Diff(c.Plan(), target, p, pcost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) < 3 {
+		t.Fatalf("migration too small to interrupt: %d steps", len(steps))
+	}
+	killAt := 2
+	stepIdx := 0
+	c.SetStepHook(func(s plan.Step) {
+		if stepIdx == killAt {
+			_ = c.Node(s.Site).Kill()
+		}
+		stepIdx++
+	})
+	rep1, err := c.ApplyPlan(target, pcost)
+	c.SetStepHook(nil)
+	if err == nil {
+		t.Fatal("migration survived a killed destination")
+	}
+	if rep1.Completed != killAt {
+		t.Fatalf("completed %d steps before the crash, want %d", rep1.Completed, killAt)
+	}
+
+	// The coordinator dies with the cluster; everything restarts from
+	// disk and the journal.
+	c.Close()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := StartDurableView(p, root, store.Options{}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	j2, err := store.OpenJournal(filepath.Join(root, "coord"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	c2.AttachJournal(j2)
+
+	// What the sites actually hold after the crash — the a-priori basis
+	// for the resumed remainder.
+	actual := c2.Plan()
+	remainder, err := plan.Diff(actual, target, p, pcost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, resumed, err := c2.ResumeMigration(pcost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("journaled plan not resumed")
+	}
+	if rep2.Completed != rep2.Steps || rep2.Steps != len(remainder) {
+		t.Fatalf("resume ran %d/%d steps, remainder diff had %d", rep2.Completed, rep2.Steps, len(remainder))
+	}
+	if want := plan.TotalCost(remainder); rep2.MigrationNTC != want {
+		t.Fatalf("resume NTC %d, a-priori remainder cost %d", rep2.MigrationNTC, want)
+	}
+	if !c2.Plan().Equal(target) {
+		t.Fatal("resumed cluster did not adopt the journaled plan")
+	}
+	for k := 0; k < p.Objects(); k++ {
+		for _, m := range members {
+			if c2.Node(m).Holds(k) != target.Has(m, k) {
+				t.Fatalf("site %d holds(%d)=%v, target plan says %v", m, k, c2.Node(m).Holds(k), target.Has(m, k))
+			}
+		}
+	}
+
+	// A second resume finds the target realised: zero steps.
+	rep3, resumed, err := c2.ResumeMigration(pcost)
+	if err != nil || !resumed {
+		t.Fatalf("idempotent resume: %v (resumed %v)", err, resumed)
+	}
+	if rep3.Steps != 0 {
+		t.Fatalf("idempotent resume found %d steps", rep3.Steps)
+	}
+
+	got, err := c2.DriveTraffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != targetCost {
+		t.Fatalf("post-resume driven NTC %d, solver cost %d", got, targetCost)
+	}
+}

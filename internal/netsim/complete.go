@@ -1,0 +1,18 @@
+package netsim
+
+// Complete builds the complete-graph topology of a validated distance
+// matrix: one direct link per site pair, carrying the matrix entry as its
+// cost. Because a shortest-path matrix obeys the triangle inequality,
+// every subgraph induced on a subset of sites reproduces the original
+// pairwise distances exactly — which makes Complete the canonical way to
+// lift an existing Problem's C(i,j) into a membership universe when the
+// underlying link topology is no longer known.
+func Complete(d *DistMatrix) *Topology {
+	t := NewTopology(d.Sites())
+	for i := 0; i < d.Sites(); i++ {
+		for j := i + 1; j < d.Sites(); j++ {
+			t.Links = append(t.Links, Link{From: i, To: j, Cost: d.At(i, j)})
+		}
+	}
+	return t
+}

@@ -1,0 +1,187 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"drp/internal/core"
+)
+
+// StepKind classifies one migration step.
+type StepKind int
+
+// Migration step kinds, in execution-phase order: every Copy lands before
+// any Promote, and every Promote before any Drop.
+const (
+	Copy StepKind = iota + 1
+	Promote
+	Drop
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case Copy:
+		return "copy"
+	case Promote:
+		return "promote"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Step is one unit of migration work. For a Copy, Site gains a replica of
+// Object fetched from From at the given transfer cost (size × C). For a
+// Promote, Site becomes Object's primary, taking over from From. For a
+// Drop, Site deletes its replica.
+type Step struct {
+	Kind   StepKind `json:"kind"`
+	Object int      `json:"object"`
+	Site   int      `json:"site"`
+	From   int      `json:"from,omitempty"`
+	Cost   int64    `json:"cost,omitempty"`
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case Copy:
+		return fmt.Sprintf("copy obj %d to site %d from %d (cost %d)", s.Object, s.Site, s.From, s.Cost)
+	case Promote:
+		return fmt.Sprintf("promote obj %d primary %d -> %d", s.Object, s.From, s.Site)
+	default:
+		return fmt.Sprintf("drop obj %d from site %d", s.Object, s.Site)
+	}
+}
+
+// Diff computes the ordered migration steps that take the data plane from
+// plan old to plan next. Copies come first: each replica gained in next is
+// fetched from the min-cost current holder, preferring holders that
+// survive into next's view (a departing site is used as a source only
+// when it holds the sole copy), ties broken by lowest site index. Then
+// primary promotions, then drops — so replicas copy in before anything
+// serves from them, and a departing site drains (keeps serving as a
+// source) before its replicas are dropped. The cost function must be
+// valid for every pair of sites in old.View ∪ next.View; p supplies
+// object sizes.
+func Diff(old, next *Plan, p *core.Problem, cost CostFn) ([]Step, error) {
+	if len(old.Placement) != len(next.Placement) {
+		return nil, fmt.Errorf("plan: diff over %d vs %d objects", len(old.Placement), len(next.Placement))
+	}
+	var copies, promotes, drops []Step
+	for k := range next.Placement {
+		for _, site := range next.Placement[k] {
+			if old.Has(site, k) {
+				continue
+			}
+			from, c, err := bestSource(old, next, k, site, cost)
+			if err != nil {
+				return nil, err
+			}
+			copies = append(copies, Step{Kind: Copy, Object: k, Site: site, From: from, Cost: p.Size(k) * c})
+		}
+		if old.Primaries[k] != next.Primaries[k] {
+			promotes = append(promotes, Step{Kind: Promote, Object: k, Site: next.Primaries[k], From: old.Primaries[k]})
+		}
+		for _, site := range old.Placement[k] {
+			if !next.Has(site, k) {
+				drops = append(drops, Step{Kind: Drop, Object: k, Site: site})
+			}
+		}
+	}
+	order := func(steps []Step) {
+		sort.Slice(steps, func(a, b int) bool {
+			if steps[a].Object != steps[b].Object {
+				return steps[a].Object < steps[b].Object
+			}
+			return steps[a].Site < steps[b].Site
+		})
+	}
+	order(copies)
+	order(promotes)
+	order(drops)
+	steps := make([]Step, 0, len(copies)+len(promotes)+len(drops))
+	steps = append(steps, copies...)
+	steps = append(steps, promotes...)
+	steps = append(steps, drops...)
+	return steps, nil
+}
+
+// bestSource picks where a new replica of object k at dst is fetched
+// from: the min-cost holder under old, preferring holders that remain
+// members of next's view.
+func bestSource(old, next *Plan, k, dst int, cost CostFn) (int, int64, error) {
+	best, bestCost, bestSurvives := -1, int64(0), false
+	for _, src := range old.Placement[k] {
+		if src == dst {
+			continue
+		}
+		c := cost(src, dst)
+		if c < 0 {
+			continue
+		}
+		survives := next.View.Has(src)
+		better := best < 0 ||
+			(survives && !bestSurvives) ||
+			(survives == bestSurvives && c < bestCost)
+		if better {
+			best, bestCost, bestSurvives = src, c, survives
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("plan: no reachable source for object %d at site %d", k, dst)
+	}
+	return best, bestCost, nil
+}
+
+// TotalCost sums the transfer cost of a step list — the exact a-priori
+// migration NTC the data plane will account when executing it.
+func TotalCost(steps []Step) int64 {
+	var sum int64
+	for _, s := range steps {
+		sum += s.Cost
+	}
+	return sum
+}
+
+// ServeCost evaluates eq. 4 for the plan over its view, with exactly the
+// accounting the netnode data plane uses on the wire: a read from member
+// i costs size × C(i, nearest replica); a write from member i ships
+// size × C(i, primary) to the primary, which broadcasts size × C(primary,
+// j) to every other replicator except the writer. Demand at non-member
+// sites does not exist. The cost function must cover all member pairs.
+func ServeCost(p *core.Problem, pl *Plan, cost CostFn) int64 {
+	var total int64
+	for _, i := range pl.View.Members {
+		for k := 0; k < p.Objects(); k++ {
+			if r := p.Reads(i, k); r > 0 {
+				best := int64(-1)
+				for _, j := range pl.Placement[k] {
+					c := int64(0)
+					if j != i {
+						c = cost(i, j)
+					}
+					if best < 0 || c < best {
+						best = c
+					}
+				}
+				total += r * p.Size(k) * best
+			}
+			if w := p.Writes(i, k); w > 0 {
+				sp := pl.Primaries[k]
+				per := int64(0)
+				if i != sp {
+					per = p.Size(k) * cost(i, sp)
+				}
+				for _, j := range pl.Placement[k] {
+					if j == i || j == sp {
+						continue
+					}
+					per += p.Size(k) * cost(sp, j)
+				}
+				total += w * per
+			}
+		}
+	}
+	return total
+}

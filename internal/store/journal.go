@@ -24,14 +24,19 @@ type Journal struct {
 	closed  bool
 
 	epoch       int
-	replicators [][]int // latest recorded scheme, per object
+	replicators [][]int         // latest recorded scheme, per object
+	plan        json.RawMessage // latest recorded placement plan, if any
 }
 
 // journalEntry is one record (and the snapshot payload): the scheme after
-// an epoch, as per-object replicator lists.
+// an epoch as per-object replicator lists, and/or the control plane's
+// placement plan in its canonical encoding. Either field may be absent;
+// latest-wins applies to each independently so the scheme-only and
+// plan-only call paths do not clobber one another.
 type journalEntry struct {
-	Epoch       int     `json:"epoch"`
-	Replicators [][]int `json:"replicators"`
+	Epoch       int             `json:"epoch"`
+	Replicators [][]int         `json:"replicators,omitempty"`
+	Plan        json.RawMessage `json:"plan,omitempty"`
 }
 
 // OpenJournal opens (or creates) the placement journal in dir. SnapshotEvery
@@ -73,17 +78,22 @@ func (j *Journal) applyPayload(payload []byte) error {
 	}
 	if e.Epoch >= j.epoch { // stale replays under a newer snapshot are no-ops
 		j.epoch = e.Epoch
-		j.replicators = e.Replicators
+		if e.Replicators != nil {
+			j.replicators = e.Replicators
+		}
+		if e.Plan != nil {
+			j.plan = e.Plan
+		}
 	}
 	return nil
 }
 
 // Latest returns the most recent recorded epoch and its per-object
-// replicator lists; ok is false when the journal holds nothing yet.
+// replicator lists; ok is false when the journal holds no scheme yet.
 func (j *Journal) Latest() (epoch int, replicators [][]int, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.epoch < 0 {
+	if j.epoch < 0 || j.replicators == nil {
 		return 0, nil, false
 	}
 	out := make([][]int, len(j.replicators))
@@ -121,12 +131,51 @@ func (j *Journal) Record(epoch int, replicators [][]int) error {
 	return nil
 }
 
+// RecordPlan appends one control-plane placement plan in its canonical
+// encoding. The coordinator journals the *target* plan before executing a
+// single migration step, so a restart mid-migration can diff the journaled
+// intent against the sites' actual holdings and finish the remainder.
+func (j *Journal) RecordPlan(epoch int, plan []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	payload, err := json.Marshal(journalEntry{Epoch: epoch, Plan: json.RawMessage(plan)})
+	if err != nil {
+		return fmt.Errorf("store: journal encode: %w", err)
+	}
+	if err := j.w.append(payload); err != nil {
+		return err
+	}
+	if epoch >= j.epoch {
+		j.epoch = epoch
+		j.plan = append(json.RawMessage(nil), plan...)
+	}
+	j.appends++
+	if j.snapN > 0 && j.appends >= j.snapN {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// LatestPlan returns the most recently journaled plan bytes; ok is false
+// when no plan has been recorded.
+func (j *Journal) LatestPlan() (epoch int, plan []byte, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.epoch < 0 || j.plan == nil {
+		return 0, nil, false
+	}
+	return j.epoch, append([]byte(nil), j.plan...), true
+}
+
 // compactLocked snapshots the latest entry and truncates the log. Crash
 // windows: before the rename the old snapshot+log pair still recovers;
 // after the rename but before the truncate the log replays entries the
 // snapshot already covers, which latest-wins absorbs.
 func (j *Journal) compactLocked() error {
-	payload, err := json.Marshal(journalEntry{Epoch: j.epoch, Replicators: j.replicators})
+	payload, err := json.Marshal(journalEntry{Epoch: j.epoch, Replicators: j.replicators, Plan: j.plan})
 	if err != nil {
 		return fmt.Errorf("store: journal encode: %w", err)
 	}

@@ -18,6 +18,7 @@ const (
 	opNearest  uint8 = 8  // obj, arg=site: nearest-replica record
 	opReplicas uint8 = 9  // obj, sites: read-failover replica ranking
 	opRegistry uint8 = 10 // obj, sites: primary's replicator list (trims stale)
+	opPrimary  uint8 = 11 // obj, arg=site: current primary after a promotion
 )
 
 // record is one logical mutation. Versions and cost deltas ride in arg;
@@ -60,7 +61,7 @@ func decodeRecord(b []byte) (record, error) {
 	if n > maxRecordBytes/4 || len(b) != 17+4*int(n) {
 		return record{}, fmt.Errorf("store: record length %d does not match %d sites", len(b), n)
 	}
-	if r.op < opPlace || r.op > opRegistry {
+	if r.op < opPlace || r.op > opPrimary {
 		return record{}, fmt.Errorf("store: unknown opcode %d", r.op)
 	}
 	if n > 0 {

@@ -57,6 +57,10 @@ type Store struct {
 	stale    []map[int]bool
 	pending  []int
 	ntc      int64
+	// curPrimary is the routing primary per object; it starts at the
+	// bootstrap primaries and moves when the control plane promotes a
+	// different member (opPrimary records).
+	curPrimary []int
 }
 
 // ErrClosed reports a mutation on a store whose log has been closed (the
@@ -82,6 +86,7 @@ func (s *Store) bootstrap() {
 	s.stale = make([]map[int]bool, n)
 	s.pending = make([]int, n)
 	s.ntc = 0
+	s.curPrimary = append([]int(nil), s.primary...)
 	for k, sp := range s.primary {
 		s.nearest[k] = sp
 		s.replicas[k] = []int{sp}
@@ -231,6 +236,8 @@ func (s *Store) apply(rec record) {
 		s.nearest[k] = int(rec.arg)
 	case opReplicas:
 		s.replicas[k] = intsOf(rec.sites)
+	case opPrimary:
+		s.curPrimary[k] = int(rec.arg)
 	case opRegistry:
 		s.registry[k] = intsOf(rec.sites)
 		// A site no longer replicating the object has nothing left to
@@ -393,6 +400,14 @@ func (s *Store) TotalPending() int {
 	return total
 }
 
+// PrimaryOf returns the current routing primary of object k (the
+// bootstrap primary until a promotion moves it).
+func (s *Store) PrimaryOf(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curPrimary[k]
+}
+
 // NTC returns the transfer cost accounted to this site.
 func (s *Store) NTC() int64 {
 	s.mu.Lock()
@@ -508,6 +523,17 @@ func (s *Store) SetReplicas(k int, sites []int) error {
 	return s.commit(record{op: opReplicas, obj: int32(k), sites: int32sOf(sites)})
 }
 
+// SetPrimary records a primary promotion: object k's writes now route to
+// site. Setting the already-current primary appends nothing.
+func (s *Store) SetPrimary(k, site int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.curPrimary[k] == site {
+		return nil
+	}
+	return s.commit(record{op: opPrimary, obj: int32(k), arg: int64(site)})
+}
+
 // SetRegistry replaces the primary's replicator registry for k and trims
 // stale marks for sites that left the set (one record covers both).
 func (s *Store) SetRegistry(k int, sites []int) error {
@@ -530,6 +556,10 @@ type snapState struct {
 	Stale    [][]int `json:"stale"`
 	Pending  []int   `json:"pending"`
 	NTC      int64   `json:"ntc"`
+	// Primary is the current routing primary per object. Omitted by
+	// snapshots written before promotions existed; loading such a snapshot
+	// keeps the bootstrap primaries.
+	Primary []int `json:"primary,omitempty"`
 }
 
 func (s *Store) encodeStateLocked() []byte {
@@ -543,6 +573,7 @@ func (s *Store) encodeStateLocked() []byte {
 		Stale:    make([][]int, len(s.stale)),
 		Pending:  s.pending,
 		NTC:      s.ntc,
+		Primary:  s.curPrimary,
 	}
 	for k, marks := range s.stale {
 		st.Stale[k] = sortedKeys(marks)
@@ -573,8 +604,14 @@ func (s *Store) loadSnapshot(payload []byte) error {
 	n := len(s.primary)
 	if st.Site != s.site || len(st.Holds) != n || len(st.Versions) != n ||
 		len(st.Nearest) != n || len(st.Replicas) != n || len(st.Registry) != n ||
-		len(st.Stale) != n || len(st.Pending) != n {
+		len(st.Stale) != n || len(st.Pending) != n ||
+		(st.Primary != nil && len(st.Primary) != n) {
 		return fmt.Errorf("store: snapshot shape does not match site %d with %d objects", s.site, n)
+	}
+	if st.Primary != nil {
+		s.curPrimary = st.Primary
+	} else {
+		s.curPrimary = append([]int(nil), s.primary...)
 	}
 	s.holds = st.Holds
 	s.versions = st.Versions

@@ -48,6 +48,8 @@ func driveOps(t *testing.T, s *Store) {
 	must(s.SetNearest(2, 4))
 	must(s.SetReplicas(2, []int{0, 4, 1}))
 	must(s.SetRegistry(0, []int{0, 2, 3}))
+	must(s.SetPrimary(0, 2))
+	must(s.SetPrimary(3, 1))
 	must(s.Drop(2))
 }
 
