@@ -57,9 +57,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quiet      = fs.Bool("q", false, "suppress progress output")
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot of the campaign's solver instruments to this file")
 		eventsOut  = fs.String("events", "", "append structured JSONL solver events to this file")
+
+		sparseBench   = fs.Bool("sparse-bench", false, "run the sparse-core scaling benchmark instead of the figure campaign")
+		sparseSites   = fs.Int("sparse-sites", 100, "sparse bench: site count M")
+		sparseObjects = fs.Int("sparse-objects", 1_000_000, "sparse bench: object count N")
+		sparseShards  = fs.Int("sparse-shards", 0, "sparse bench: shard count (0 = all cores); results are identical at any setting")
+		sparseSeed    = fs.Uint64("sparse-seed", 1, "sparse bench: workload seed")
+		sparseAdapt   = fs.Float64("sparse-adapt", 0.01, "sparse bench: fraction of accessed objects perturbed for the adaptive round (0 = skip)")
+		sparseOut     = fs.String("sparse-out", "", "sparse bench: write the JSON report to this file (default: stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sparseBench {
+		return runSparseBench(sparseBenchOpts{
+			sites:   *sparseSites,
+			objects: *sparseObjects,
+			shards:  *sparseShards,
+			seed:    *sparseSeed,
+			adapt:   *sparseAdapt,
+			out:     *sparseOut,
+		}, stdout, stderr)
 	}
 	// Overrides apply when the flag was given, not when its value is
 	// truthy — "-seed 0" and "-par 0" are meaningful settings, and an

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 
@@ -155,5 +156,32 @@ func TestBenchSVGOutput(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "<svg") {
 		t.Fatal("SVG output malformed")
+	}
+}
+
+func TestBenchSparseMode(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "BENCH_sparse.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-sparse-bench", "-sparse-sites", "12", "-sparse-objects", "400",
+		"-sparse-shards", "2", "-sparse-out", outPath}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sparseBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != "drp-bench-sparse/1" || rep.N != 400 || rep.M != 12 {
+		t.Fatalf("unexpected report header: %+v", rep)
+	}
+	if rep.SolveCost > rep.DPrime || rep.SolveEvals == 0 || rep.PeakRSSBytes <= 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.AdaptEvals == 0 || rep.AdaptCost <= 0 {
+		t.Fatalf("adapt round missing from report: %+v", rep)
 	}
 }

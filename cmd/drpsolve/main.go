@@ -47,7 +47,7 @@ func main() {
 // set; setting any other flag is an error, not a silent no-op.
 var flagsFor = map[string]map[string]bool{
 	"sra":      {"timeout": true, "budget": true, "progress": true},
-	"gra":      {"seed": true, "pop": true, "gens": true, "par": true, "timeout": true, "budget": true, "progress": true},
+	"gra":      {"seed": true, "pop": true, "gens": true, "par": true, "sparse": true, "shards": true, "timeout": true, "budget": true, "progress": true},
 	"hill":     {"timeout": true, "budget": true, "progress": true},
 	"optimal":  {"maxbits": true, "timeout": true, "budget": true},
 	"random":   {"seed": true},
@@ -89,6 +89,8 @@ func run(args []string, stdout io.Writer) error {
 		pop        = fs.Int("pop", 50, "GRA population size Np")
 		gens       = fs.Int("gens", 80, "GRA generations Ng")
 		par        = fs.Int("par", 0, "GRA evaluation workers (0 = all cores, 1 = serial)")
+		sparseCore = fs.Bool("sparse", false, "GRA: solve on the sparse/sharded core instead of the genetic search")
+		shards     = fs.Int("shards", 0, "GRA sparse shard count (0 = -par, then all cores); requires -sparse")
 		maxBits    = fs.Int("maxbits", 24, "optimal: maximum free placement bits")
 		timeout    = fs.Duration("timeout", 0, "wall-clock limit; the best scheme so far is reported (0 = none)")
 		budget     = fs.Int("budget", 0, "cost-model evaluation limit (0 = none)")
@@ -103,6 +105,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err := checkFlags(fs, *algo); err != nil {
 		return err
+	}
+	if *shards != 0 && !*sparseCore {
+		return fmt.Errorf("flag -shards requires -sparse")
 	}
 
 	var reg *metrics.Registry
@@ -156,6 +161,7 @@ func run(args []string, stdout io.Writer) error {
 	start := time.Now()
 	var scheme *drp.Scheme
 	var stats *drp.SolverStats
+	var sparseRan bool
 	switch *algo {
 	case "sra":
 		res := drp.SRAWithOptions(p, drp.SRAOptions{Run: runOpts})
@@ -166,11 +172,14 @@ func run(args []string, stdout io.Writer) error {
 		params.Generations = *gens
 		params.Seed = *seed
 		params.Parallelism = *par
+		params.Sparse = *sparseCore
+		params.Shards = *shards
 		res, err := drp.GRAWith(p, params, runOpts)
 		if err != nil {
 			return err
 		}
 		scheme, stats = res.Scheme, &res.Stats
+		sparseRan = res.Sparse
 	case "random":
 		scheme = drp.RandomPlacement(p, *seed)
 	case "readonly":
@@ -191,6 +200,9 @@ func run(args []string, stdout io.Writer) error {
 
 	cost := scheme.Cost()
 	fmt.Fprintf(stdout, "algorithm:   %s\n", *algo)
+	if sparseRan {
+		fmt.Fprintf(stdout, "core:        sparse\n")
+	}
 	fmt.Fprintf(stdout, "sites:       %d\n", p.Sites())
 	fmt.Fprintf(stdout, "objects:     %d\n", p.Objects())
 	fmt.Fprintf(stdout, "D' (no repl): %d\n", p.DPrime())

@@ -293,3 +293,28 @@ func TestSolveReplaysTrace(t *testing.T) {
 		t.Fatalf("replay NTC does not match model (%s):\n%s", want, out.String())
 	}
 }
+
+func TestSolveGRASparse(t *testing.T) {
+	path := writeProblem(t)
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "gra", "-sparse", "-shards", "2", "-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "core:        sparse") {
+		t.Fatalf("output missing sparse core line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "NTC savings") {
+		t.Fatalf("output missing savings:\n%s", out.String())
+	}
+}
+
+func TestSolveSparseFlagValidation(t *testing.T) {
+	path := writeProblem(t)
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "gra", "-shards", "2", "-in", path}, &out); err == nil {
+		t.Fatal("-shards without -sparse accepted")
+	}
+	if err := run([]string{"-algo", "sra", "-sparse", "-in", path}, &out); err == nil {
+		t.Fatal("-sparse with -algo sra accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package agra
+
+import (
+	"testing"
+
+	"drp/internal/gra"
+	"drp/internal/sra"
+)
+
+func sparseMicroParams(seed uint64) Params {
+	p := microParams(seed)
+	p.Sparse = true
+	return p
+}
+
+func TestSparseAdaptValid(t *testing.T) {
+	p := gen(t, 10, 15, 0.05, 0.15, 21)
+	current := sra.Run(p, sra.Options{}).Scheme
+	changed := []int{0, 3, 7}
+	in := Input{Problem: p, Current: current, Changed: changed}
+	// The sparse path never runs the mini-GRA, so zero mini params must be
+	// accepted.
+	res, err := Adapt(in, sparseMicroParams(1), gra.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparse {
+		t.Fatal("Result.Sparse not set by the sparse core")
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := res.Scheme.Cost(); c != res.Cost {
+		t.Fatalf("reported cost %d but scheme evaluates to %d", res.Cost, c)
+	}
+	if res.Objects != nil || res.Population != nil {
+		t.Fatal("sparse adaptation retained micro-GA state")
+	}
+	isChanged := map[int]bool{}
+	for _, k := range changed {
+		isChanged[k] = true
+	}
+	for k := 0; k < p.Objects(); k++ {
+		if isChanged[k] {
+			continue
+		}
+		for i := 0; i < p.Sites(); i++ {
+			if current.Has(i, k) != res.Scheme.Has(i, k) {
+				t.Fatalf("untouched object %d changed at site %d", k, i)
+			}
+		}
+	}
+}
+
+func TestSparseAdaptShardDeterminism(t *testing.T) {
+	p := gen(t, 12, 20, 0.05, 0.15, 22)
+	current := sra.Run(p, sra.Options{}).Scheme
+	in := Input{Problem: p, Current: current, Changed: []int{1, 2, 5, 9}}
+	var ref *Result
+	for _, shards := range []int{1, 2, 8} {
+		params := sparseMicroParams(2)
+		params.Shards = shards
+		res, err := Adapt(in, params, gra.Params{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Cost != ref.Cost {
+			t.Fatalf("shards %d: cost %d != %d", shards, res.Cost, ref.Cost)
+		}
+		if !res.Scheme.Equal(ref.Scheme) {
+			t.Fatalf("shards %d: scheme differs from single-shard run", shards)
+		}
+	}
+}
+
+func TestSparseAdaptAutoThreshold(t *testing.T) {
+	p := gen(t, 6, 6, 0.05, 0.15, 23) // M·N = 36
+	current := sra.Run(p, sra.Options{}).Scheme
+	in := Input{Problem: p, Current: current, Changed: []int{0}}
+	params := microParams(3)
+	params.SparseAuto = 36
+	res, err := Adapt(in, params, gra.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparse {
+		t.Fatal("auto-threshold 36 left a 36-entry instance on the micro-GA path")
+	}
+	params.SparseAuto = 37
+	res, err = Adapt(in, params, miniParams(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sparse {
+		t.Fatal("auto-threshold 37 flipped a 36-entry instance to sparse")
+	}
+}
+
+func TestSparseParamsValidation(t *testing.T) {
+	p := gen(t, 5, 5, 0.05, 0.15, 24)
+	current := sra.Run(p, sra.Options{}).Scheme
+	in := Input{Problem: p, Current: current, Changed: []int{0}}
+	bad := microParams(1)
+	bad.SparseAuto = -1
+	if _, err := Adapt(in, bad, miniParams(1), 0); err == nil {
+		t.Fatal("negative SparseAuto accepted")
+	}
+	bad = microParams(1)
+	bad.Shards = -3
+	if _, err := Adapt(in, bad, miniParams(1), 0); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+}

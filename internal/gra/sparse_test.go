@@ -1,0 +1,150 @@
+package gra
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"drp/internal/solver"
+)
+
+func sparseParams(seed uint64) Params {
+	p := smallParams(seed)
+	p.Sparse = true
+	return p
+}
+
+func TestSparseRunProducesValidScheme(t *testing.T) {
+	p := gen(t, 10, 15, 0.05, 0.15, 2)
+	res, err := Run(p, sparseParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparse {
+		t.Fatal("Result.Sparse not set by the sparse core")
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := res.Scheme.Cost(); c != res.Cost {
+		t.Fatalf("reported cost %d but scheme evaluates to %d", res.Cost, c)
+	}
+	if res.Cost > p.DPrime() {
+		t.Fatalf("sparse cost %d exceeds no-replication D′ %d", res.Cost, p.DPrime())
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	if len(res.History) != 1 {
+		t.Fatalf("sparse history has %d entries, want 1", len(res.History))
+	}
+	if res.Population != nil {
+		t.Fatal("sparse run retained a population")
+	}
+}
+
+func TestSparseShardDeterminism(t *testing.T) {
+	p := gen(t, 12, 20, 0.05, 0.15, 3)
+	var ref *Result
+	for _, shards := range []int{1, 2, 8} {
+		params := sparseParams(11)
+		params.Shards = shards
+		res, err := RunWith(p, params, solver.Run{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Cost != ref.Cost {
+			t.Fatalf("shards %d: cost %d != %d", shards, res.Cost, ref.Cost)
+		}
+		if !res.Scheme.Equal(ref.Scheme) {
+			t.Fatalf("shards %d: scheme differs from single-shard run", shards)
+		}
+		if res.Evaluations != ref.Evaluations {
+			t.Fatalf("shards %d: evaluations %d != %d", shards, res.Evaluations, ref.Evaluations)
+		}
+	}
+}
+
+func TestSparseAutoThreshold(t *testing.T) {
+	p := gen(t, 6, 6, 0.05, 0.15, 4) // M·N = 36
+	below := smallParams(5)
+	below.SparseAuto = 37
+	res, err := Run(p, below)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sparse {
+		t.Fatal("auto-threshold 37 flipped a 36-entry instance to sparse")
+	}
+	at := smallParams(5)
+	at.SparseAuto = 36
+	res, err = Run(p, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparse {
+		t.Fatal("auto-threshold 36 left a 36-entry instance dense")
+	}
+}
+
+func TestSparseContinueRejected(t *testing.T) {
+	p := gen(t, 6, 6, 0.05, 0.15, 6)
+	_, err := ContinueWith(p, sparseParams(1), nil, solver.Run{})
+	if err == nil {
+		t.Fatal("ContinueWith accepted sparse params")
+	}
+	if !strings.Contains(err.Error(), "population-free") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSparseBudget(t *testing.T) {
+	p := gen(t, 10, 30, 0.05, 0.15, 8)
+	res, err := RunWith(p, sparseParams(2), solver.Run{Budget: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stopped != solver.StopBudget {
+		t.Fatalf("stopped %v, want budget", res.Stats.Stopped)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := res.Scheme.Cost(); c != res.Cost {
+		t.Fatalf("interrupted run reported cost %d but scheme evaluates to %d", res.Cost, c)
+	}
+}
+
+func TestSparseCancelled(t *testing.T) {
+	p := gen(t, 10, 30, 0.05, 0.15, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunWith(p, sparseParams(2), solver.Run{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stopped != solver.StopCancelled {
+		t.Fatalf("stopped %v, want cancelled", res.Stats.Stopped)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseParamsValidation(t *testing.T) {
+	p := gen(t, 5, 5, 0.05, 0.15, 1)
+	neg := smallParams(1)
+	neg.SparseAuto = -1
+	if _, err := Run(p, neg); err == nil {
+		t.Fatal("negative SparseAuto accepted")
+	}
+	neg = smallParams(1)
+	neg.Shards = -2
+	if _, err := Run(p, neg); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+}

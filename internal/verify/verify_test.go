@@ -153,8 +153,8 @@ func TestSoakRejectsTinyCaps(t *testing.T) {
 // TestCheckRegistryStable pins the registry names the CLI and CI reference.
 func TestCheckRegistryStable(t *testing.T) {
 	names := CheckNames()
-	if len(names) != 11 {
-		t.Fatalf("registry has %d checks, want 11", len(names))
+	if len(names) != 16 {
+		t.Fatalf("registry has %d checks, want 16", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -163,7 +163,8 @@ func TestCheckRegistryStable(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	for _, want := range []string{"eq4-oracle", "perm-sites", "delta-eval", "pool-parity", "optimal-gap"} {
+	for _, want := range []string{"eq4-oracle", "perm-sites", "delta-eval", "pool-parity", "optimal-gap",
+		"sparse-eval", "sparse-delta", "sparse-shards", "sparse-prune", "sparse-prune-perm"} {
 		if !seen[want] {
 			t.Errorf("registry lost check %q", want)
 		}
