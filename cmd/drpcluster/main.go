@@ -40,6 +40,7 @@ import (
 	"drp/internal/metrics"
 	"drp/internal/netnode"
 	"drp/internal/plan"
+	"drp/internal/spans"
 	"drp/internal/sra"
 	"drp/internal/store"
 	"drp/internal/workload"
@@ -52,7 +53,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("drpcluster", flag.ContinueOnError)
 	var (
 		sites     = fs.Int("sites", 20, "number of sites")
@@ -82,6 +83,12 @@ func run(args []string, stdout io.Writer) error {
 		metricsOut    = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
 		eventsOut     = fs.String("events", "", "append structured JSONL events to this file")
 		planOut       = fs.String("plan-out", "", "write the scheme in force after the last epoch as a canonical placement-plan JSON to this file")
+		blockRate     = fs.Int("block-profile-rate", 0, "sample goroutine blocking events at this rate (ns) for /debug/pprof/block (0 = off; requires -listen-metrics)")
+		mutexFrac     = fs.Int("mutex-profile-fraction", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off; requires -listen-metrics)")
+
+		traceOut    = fs.String("trace-out", "", "record one JSON span per line to this file: an epoch root with adapt and serve children per measurement period (analyse with drptrace)")
+		traceSample = fs.Int64("trace-sample", 1, "trace every nth epoch (deterministic counter, not probability; requires -trace-out)")
+		traceClock  = fs.String("trace-clock", "logical", `span timestamp source: "logical" (deterministic ticks) or "wall" (real durations; requires -trace-out)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +99,8 @@ func run(args []string, stdout io.Writer) error {
 		dataDir: *dataDir, fsync: *fsync, snapEvery: *snapEvery,
 		listenMetrics: *listenMetrics, serveFor: *serveFor,
 		compare: *compare, planOut: *planOut,
+		blockRate: *blockRate, mutexFrac: *mutexFrac,
+		traceOut: *traceOut, traceSample: *traceSample, traceClock: *traceClock,
 	}); err != nil {
 		return err
 	}
@@ -207,7 +216,23 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		cfg.Events = metrics.NewEventLog(f)
 	}
+	if *traceOut != "" {
+		// Spans stream to the JSONL file and, when -events is also set,
+		// interleave into the event sink as "span" records.
+		tracer, closeTrace, terr := spans.OpenFile(*traceOut, *traceSample, *traceClock, spans.NewEventExporter(cfg.Events))
+		if terr != nil {
+			return terr
+		}
+		defer func() {
+			if cerr := closeTrace(); cerr != nil && err == nil {
+				err = fmt.Errorf("trace file %s: %w", *traceOut, cerr)
+			}
+		}()
+		cfg.Tracer = tracer
+		fmt.Fprintf(stdout, "tracing epochs to %s (sample 1/%d, %s clock)\n", *traceOut, *traceSample, *traceClock)
+	}
 	if *listenMetrics != "" {
+		metrics.EnableRuntimeProfiles(*blockRate, *mutexFrac)
 		// Expose the full metric surface from the first scrape: families a
 		// quiet run never touches still appear, at zero.
 		metrics.RegisterSolverFamilies(reg, pol.String())
@@ -242,8 +267,8 @@ func run(args []string, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "cluster: %d sites, %d objects, policy=%s, drift=%.0f%%/epoch\n\n",
 		*sites, *objects, pol, 100**drift)
-	fmt.Fprintf(stdout, "%5s %9s %8s %12s %12s %7s %9s %8s %8s %8s %9s\n",
-		"epoch", "reads", "writes", "serveNTC", "modelNTC", "saved%", "meanRead", "p95Read", "migrate", "changed", "failures")
+	fmt.Fprintf(stdout, "%5s %9s %8s %12s %12s %7s %9s %8s %8s %8s %8s %9s\n",
+		"epoch", "reads", "writes", "serveNTC", "modelNTC", "saved%", "meanRead", "p50Read", "p95Read", "migrate", "changed", "failures")
 	degraded := 0
 	for _, e := range res.Epochs {
 		mark := ""
@@ -251,9 +276,9 @@ func run(args []string, stdout io.Writer) error {
 			mark = " *"
 			degraded++
 		}
-		fmt.Fprintf(stdout, "%5d %9d %8d %12d %12d %7.2f %9.1f %8d %8d %8d %9d%s\n",
+		fmt.Fprintf(stdout, "%5d %9d %8d %12d %12d %7.2f %9.1f %8d %8d %8d %8d %9d%s\n",
 			e.Epoch, e.Reads, e.Writes, e.ServeNTC, e.ModelNTC, e.Savings,
-			e.MeanReadCost, e.ReadCostP95, e.Migrations, e.Changed, e.FailedReads+e.FailedWrites, mark)
+			e.MeanReadCost, e.ReadCostP50, e.ReadCostP95, e.Migrations, e.Changed, e.FailedReads+e.FailedWrites, mark)
 	}
 	fmt.Fprintf(stdout, "\nsummary: epochs=%d degraded=%d migrations=%d migrationNTC=%d serveNTC=%d total NTC (serve+migrate)=%d\n",
 		len(res.Epochs), res.DegradedEpochs(), res.TotalMigrations(), res.TotalMigrationNTC(), res.TotalServeNTC(), res.TotalNTC())
@@ -290,6 +315,11 @@ type flagState struct {
 	serveFor           time.Duration
 	compare            bool
 	planOut            string
+	blockRate          int
+	mutexFrac          int
+	traceOut           string
+	traceSample        int64
+	traceClock         string
 }
 
 // validateFlags rejects flag combinations that would otherwise be
@@ -328,6 +358,23 @@ func validateFlags(f flagState) error {
 	}
 	if f.serveFor > 0 && f.listenMetrics == "" {
 		return fmt.Errorf("-serve-for keeps the metrics endpoint alive and needs -listen-metrics")
+	}
+	if f.listenMetrics == "" && (f.blockRate > 0 || f.mutexFrac > 0) {
+		return fmt.Errorf("-block-profile-rate/-mutex-profile-fraction feed /debug/pprof and need -listen-metrics")
+	}
+	if f.blockRate < 0 || f.mutexFrac < 0 {
+		return fmt.Errorf("profile sampling rates cannot be negative")
+	}
+	if f.traceOut == "" {
+		if f.traceSample != 1 {
+			return fmt.Errorf("-trace-sample selects traced epochs and needs -trace-out")
+		}
+		if f.traceClock != "logical" {
+			return fmt.Errorf("-trace-clock sets the span clock and needs -trace-out")
+		}
+	}
+	if f.compare && f.traceOut != "" {
+		return fmt.Errorf("-compare interleaves every policy's epochs; -trace-out needs a single-policy run")
 	}
 	return nil
 }

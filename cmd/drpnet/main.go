@@ -59,6 +59,7 @@ import (
 	"drp/internal/netnode"
 	"drp/internal/netsim"
 	"drp/internal/plan"
+	"drp/internal/spans"
 	"drp/internal/store"
 )
 
@@ -69,7 +70,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("drpnet", flag.ContinueOnError)
 	var (
 		sites    = fs.Int("sites", 10, "number of sites (ignored with -in)")
@@ -84,6 +85,12 @@ func run(args []string, stdout io.Writer) error {
 
 		listenMetrics = fs.String("listen-metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
 		serveFor      = fs.Duration("serve-for", 0, "keep the metrics endpoint up this long after the run (0 = exit immediately)")
+		blockRate     = fs.Int("block-profile-rate", 0, "sample goroutine blocking events at this rate (ns) for /debug/pprof/block (0 = off; requires -listen-metrics)")
+		mutexFrac     = fs.Int("mutex-profile-fraction", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off; requires -listen-metrics)")
+
+		traceOut    = fs.String("trace-out", "", "record one JSON span per line to this file: a trace per client request, deploy and migration (analyse with drptrace)")
+		traceSample = fs.Int64("trace-sample", 1, "trace every nth request (deterministic counter, not probability; requires -trace-out)")
+		traceClock  = fs.String("trace-clock", "logical", `span timestamp source: "logical" (deterministic ticks) or "wall" (real durations; requires -trace-out)`)
 
 		faultPlan  = fs.String("fault-plan", "", "inject faults from this plan JSON (see internal/fault); degraded requests are reported, then queued writes flush and stale replicas reconcile")
 		retries    = fs.Int("retry", 1, "transport attempts per request (1 = no retrying)")
@@ -107,6 +114,20 @@ func run(args []string, stdout io.Writer) error {
 	if *serveFor > 0 && *listenMetrics == "" {
 		return fmt.Errorf("-serve-for keeps the metrics endpoint alive and needs -listen-metrics")
 	}
+	if *listenMetrics == "" && (*blockRate > 0 || *mutexFrac > 0) {
+		return fmt.Errorf("-block-profile-rate/-mutex-profile-fraction feed /debug/pprof and need -listen-metrics")
+	}
+	if *blockRate < 0 || *mutexFrac < 0 {
+		return fmt.Errorf("profile sampling rates cannot be negative")
+	}
+	if *traceOut == "" {
+		if *traceSample != 1 {
+			return fmt.Errorf("-trace-sample selects traced requests and needs -trace-out")
+		}
+		if *traceClock != "logical" {
+			return fmt.Errorf("-trace-clock sets the span clock and needs -trace-out")
+		}
+	}
 	if *dataDir == "" {
 		if *snapEvery > 0 {
 			return fmt.Errorf("-snapshot-every needs -data-dir")
@@ -124,10 +145,28 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	var (
-		p   *drp.Problem
-		err error
-	)
+	if *listenMetrics != "" {
+		metrics.EnableRuntimeProfiles(*blockRate, *mutexFrac)
+	}
+
+	// The trace file flushes span by span; the deferred close reports the
+	// first write error so a full disk cannot truncate a run silently.
+	var tracer *spans.Tracer
+	if *traceOut != "" {
+		var closeTrace func() error
+		tracer, closeTrace, err = spans.OpenFile(*traceOut, *traceSample, *traceClock)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := closeTrace(); cerr != nil && err == nil {
+				err = fmt.Errorf("trace file %s: %w", *traceOut, cerr)
+			}
+		}()
+		fmt.Fprintf(stdout, "tracing requests to %s (sample 1/%d, %s clock)\n", *traceOut, *traceSample, *traceClock)
+	}
+
+	var p *drp.Problem
 	if *in != "" {
 		f, err2 := os.Open(*in)
 		if err2 != nil {
@@ -181,7 +220,7 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		return runMembership(p, founding, joins, leaves, *dataDir, storeOpts,
-			*retries, *reqTimeout, *listenMetrics, *serveFor, *planOut, stdout)
+			*retries, *reqTimeout, *listenMetrics, *serveFor, *planOut, tracer, stdout)
 	}
 
 	var scheme *drp.Scheme
@@ -237,6 +276,9 @@ func run(args []string, stdout io.Writer) error {
 	if *reqTimeout > 0 {
 		cluster.SetRequestTimeout(*reqTimeout)
 	}
+	if tracer != nil {
+		cluster.EnableTracing(tracer)
+	}
 
 	if reg != nil {
 		cluster.EnableMetrics(reg)
@@ -276,7 +318,7 @@ func run(args []string, stdout io.Writer) error {
 		*algo, scheme.TotalReplicas(), migration)
 
 	if *faultPlan != "" {
-		if err := runFaulted(cluster, p, scheme, *faultPlan, stdout); err != nil {
+		if err := runFaulted(cluster, p, scheme, *faultPlan, reg, stdout); err != nil {
 			return err
 		}
 		return writePlanFile(cluster, *planOut, stdout)
@@ -296,13 +338,30 @@ func run(args []string, stdout io.Writer) error {
 	} else {
 		fmt.Fprintln(stdout, "  WARNING: model and wire disagree")
 	}
+	printLatency(reg, stdout)
 	return writePlanFile(cluster, *planOut, stdout)
+}
+
+// printLatency reports the client-observed wire latency quantiles when the
+// run is instrumented; without a registry it prints nothing.
+func printLatency(reg *metrics.Registry, stdout io.Writer) {
+	if reg == nil {
+		return
+	}
+	read := reg.Histogram("drp_net_request_seconds", "", nil, metrics.Labels{"op": "read"})
+	write := reg.Histogram("drp_net_request_seconds", "", nil, metrics.Labels{"op": "write"})
+	if read.Count()+write.Count() == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "  request latency (ms):    read p50 %.3f p99 %.3f, write p50 %.3f p99 %.3f\n",
+		read.Quantile(0.50)*1e3, read.Quantile(0.99)*1e3,
+		write.Quantile(0.50)*1e3, write.Quantile(0.99)*1e3)
 }
 
 // runFaulted serves the measurement period under an injected fault plan,
 // then recovers: queued writes flush and stale replicas reconcile once the
 // logical clock has passed the last fault window.
-func runFaulted(cluster *netnode.Cluster, p *drp.Problem, scheme *drp.Scheme, planPath string, stdout io.Writer) error {
+func runFaulted(cluster *netnode.Cluster, p *drp.Problem, scheme *drp.Scheme, planPath string, reg *metrics.Registry, stdout io.Writer) error {
 	fp, err := fault.LoadPlan(planPath, p.Sites())
 	if err != nil {
 		return err
@@ -322,6 +381,7 @@ func runFaulted(cluster *netnode.Cluster, p *drp.Problem, scheme *drp.Scheme, pl
 	fmt.Fprintf(stdout, "  writes served/queued:    %d/%d\n", rep.Writes, rep.QueuedWrites)
 	fmt.Fprintf(stdout, "  dials: %d (refused %d, severed %d, dropped %d, delayed %d)\n",
 		dials, refused, severed, dropped, delayed)
+	printLatency(reg, stdout)
 
 	// Recovery: move the clock past the last scheduled fault, replay the
 	// queued writes and re-sync the replicas that missed a broadcast.
@@ -353,7 +413,7 @@ func runFaulted(cluster *netnode.Cluster, p *drp.Problem, scheme *drp.Scheme, pl
 // any unfinished migration instead of replaying the scenario.
 func runMembership(p *drp.Problem, founding, joins, leaves []int, dataDir string, storeOpts store.Options,
 	retries int, reqTimeout time.Duration, listenMetrics string, serveFor time.Duration,
-	planOut string, stdout io.Writer) error {
+	planOut string, tracer *spans.Tracer, stdout io.Writer) error {
 	pcost := func(i, j int) int64 { return p.Cost(i, j) }
 
 	var reg *metrics.Registry
@@ -388,6 +448,9 @@ func runMembership(p *drp.Problem, founding, joins, leaves []int, dataDir string
 			defer c.Close()
 			c.AttachJournal(journal)
 			applyNet(c, retries, reqTimeout)
+			if tracer != nil {
+				c.EnableTracing(tracer)
+			}
 			stop, err := serveMetricsEndpoint(c, reg, listenMetrics, serveFor, stdout)
 			if err != nil {
 				return err
@@ -422,6 +485,9 @@ func runMembership(p *drp.Problem, founding, joins, leaves []int, dataDir string
 		c.AttachJournal(journal)
 	}
 	applyNet(c, retries, reqTimeout)
+	if tracer != nil {
+		c.EnableTracing(tracer)
+	}
 	stop, err := serveMetricsEndpoint(c, reg, listenMetrics, serveFor, stdout)
 	if err != nil {
 		return err
@@ -434,7 +500,7 @@ func runMembership(p *drp.Problem, founding, joins, leaves []int, dataDir string
 	if err != nil {
 		return err
 	}
-	cp, err := ctrl.NewControlPlane(p, tr, ctrl.ControlOptions{})
+	cp, err := ctrl.NewControlPlane(p, tr, ctrl.ControlOptions{Tracer: tracer})
 	if err != nil {
 		return err
 	}

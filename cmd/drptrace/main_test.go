@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenReport pins the full report for the committed span file — the
+// same fixture the CI trace-smoke job regenerates from a seeded drpnet run
+// — so any drift in assembly, critical paths, waterfalls or the fault
+// cross-reference shows up as a byte diff.
+func TestGoldenReport(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{
+		"-in", filepath.Join("testdata", "spans.jsonl"),
+		"-fault-plan", filepath.Join("testdata", "fault_plan.json"),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("report drifted from testdata/golden.txt\n--- got ---\n%s", out.Bytes())
+	}
+}
+
+// TestGoldenInvariants sanity-checks the fixture itself rather than the
+// renderer: every injected event claimed spans and the summed NTC in the
+// summary is non-zero.
+func TestGoldenInvariants(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-in", filepath.Join("testdata", "spans.jsonl"),
+		"-fault-plan", filepath.Join("testdata", "fault_plan.json"),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if strings.Contains(report, ": 0 degraded spans") {
+		t.Error("a fault event in the fixture claimed no spans; widen its window")
+	}
+	if strings.Contains(report, "summed ntc: 0\n") {
+		t.Error("fixture carries no transfer cost")
+	}
+	if strings.Contains(report, "match no event") {
+		t.Error("fixture holds fault spans the plan cannot explain")
+	}
+	if strings.Contains(report, "WARNING") {
+		t.Error("fixture assembled with orphaned spans")
+	}
+}
+
+func TestSectionFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-in", filepath.Join("testdata", "spans.jsonl"),
+		"-edges=false", "-slowest", "0", "-waterfall", "0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, section := range []string{"edges (", "slowest ", "waterfall of", "fault plan ("} {
+		if strings.Contains(report, section) {
+			t.Errorf("section %q printed despite being disabled", section)
+		}
+	}
+	if !strings.Contains(report, "spans in") {
+		t.Error("summary header missing")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},                             // -in required
+		{"-in", "testdata/nope.jsonl"}, // missing file
+		{"-in", empty},                 // no spans
+		{"-in", "testdata/spans.jsonl", "-slowest", "-1"},
+		{"-in", "testdata/spans.jsonl", "-fault-plan", "testdata/nope.json"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

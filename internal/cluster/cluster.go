@@ -23,6 +23,7 @@ import (
 	"drp/internal/gra"
 	"drp/internal/metrics"
 	"drp/internal/solver"
+	"drp/internal/spans"
 	"drp/internal/workload"
 )
 
@@ -102,6 +103,11 @@ type Config struct {
 	// Events, when non-nil, receives one structured "cluster.epoch" event
 	// per epoch plus the monitor's solver progress stream as JSONL.
 	Events *metrics.EventLog
+	// Tracer, when non-nil, records one epoch root span per measurement
+	// period with adapt and serve children; the adapt child carries the
+	// epoch's migration NTC and the serve child its serve NTC, so a span
+	// file sums to the run's exact accounted transfer cost.
+	Tracer *spans.Tracer
 	// Seed makes runs reproducible.
 	Seed uint64
 	// OnEpoch, when non-nil, runs after every finished epoch with the

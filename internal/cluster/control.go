@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"drp/internal/agra"
@@ -10,6 +11,7 @@ import (
 	"drp/internal/gra"
 	"drp/internal/membership"
 	"drp/internal/plan"
+	"drp/internal/spans"
 	"drp/internal/sra"
 	"drp/internal/store"
 )
@@ -57,6 +59,10 @@ type ControlOptions struct {
 	// Journal, when non-nil, persists every emitted plan before
 	// subscribers observe it.
 	Journal *store.Journal
+	// Tracer, when non-nil, records a span per control-plane decision:
+	// a control.found root for the founding solve and a control.replan
+	// root (with reassign and solve children) per membership event.
+	Tracer *spans.Tracer
 }
 
 // NewControlPlane solves the founding view with the static greedy and
@@ -98,11 +104,17 @@ func NewControlPlane(p *core.Problem, tracker *membership.Tracker, opts ControlO
 	if err != nil {
 		return nil, err
 	}
+	root := opts.Tracer.Root("control.found")
 	res := sra.Run(rp, opts.Static)
 	pl := plan.Lift(view, res.Scheme)
 	if err := cp.emit(pl); err != nil {
+		root.SetErr(err)
+		root.Finish()
 		return nil, err
 	}
+	root.SetAttr("epoch", strconv.Itoa(pl.Epoch))
+	root.SetAttr("members", strconv.Itoa(len(view.Members)))
+	root.Finish()
 	return cp, nil
 }
 
@@ -159,21 +171,38 @@ func (cp *ControlPlane) Subscribe(fn func(*plan.Plan)) {
 // React computes and emits the plan for a new view. Bind calls it from
 // the tracker's event stream; tests may call it directly with a view
 // obtained from JoinSite / LeaveSite.
-func (cp *ControlPlane) React(v membership.View) (*plan.Plan, error) {
+func (cp *ControlPlane) React(v membership.View) (pl *plan.Plan, err error) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
+	root := cp.opts.Tracer.Root("control.replan")
+	root.SetAttr("view", strconv.Itoa(v.Epoch))
+	defer func() {
+		root.SetErr(err)
+		root.Finish()
+	}()
 	joined, departed := memberDelta(cp.current.View.Members, v.Members)
+	rs := root.Child("control.reassign")
+	rs.SetAttr("departed", strconv.Itoa(len(departed)))
 	if err := cp.reassignPrimaries(v, departed); err != nil {
+		rs.SetErr(err)
+		rs.Finish()
 		return nil, err
 	}
+	rs.Finish()
 	changed := cp.changedObjects(joined, departed)
+	ss := root.Child("control.solve")
+	ss.SetAttr("changed", strconv.Itoa(len(changed)))
 	next, err := cp.solve(v, changed)
 	if err != nil {
+		ss.SetErr(err)
+		ss.Finish()
 		return nil, err
 	}
+	ss.Finish()
 	if err := cp.emit(next); err != nil {
 		return nil, err
 	}
+	root.SetAttr("epoch", strconv.Itoa(next.Epoch))
 	return next.Clone(), nil
 }
 

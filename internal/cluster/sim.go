@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"drp/internal/agra"
@@ -120,6 +121,9 @@ func (s *sim) snapshotTunedTotals() {
 // runEpoch drives one measurement period: drift, adaptation, traffic.
 func (s *sim) runEpoch(epoch int) (*EpochStats, error) {
 	stats := &EpochStats{Epoch: epoch}
+	root := s.cfg.Tracer.Root("epoch")
+	root.SetAttr("epoch", strconv.Itoa(epoch))
+	defer root.Finish()
 
 	// 1. Pattern drift at the start of every epoch after the first.
 	if epoch > 0 && s.cfg.Drift != nil {
@@ -139,9 +143,19 @@ func (s *sim) runEpoch(epoch int) (*EpochStats, error) {
 	// 2. The monitor adapts (it has just received the previous night's
 	// statistics — in this simulator, the true current patterns).
 	if epoch > 0 || s.cfg.Policy == PolicySRA || s.cfg.Policy == PolicyGRA {
+		as := root.Child("epoch.adapt")
 		if err := s.adapt(epoch, stats); err != nil {
+			as.SetErr(err)
+			as.Finish()
 			return nil, err
 		}
+		as.SetAttr("changed", strconv.Itoa(stats.Changed))
+		as.SetAttr("migrations", strconv.Itoa(stats.Migrations))
+		if stats.AdaptDegraded {
+			as.SetVerdict("degraded")
+		}
+		as.SetNTC(stats.MigrationNTC)
+		as.Finish()
 	}
 
 	// 3. Failures for this epoch.
@@ -156,8 +170,13 @@ func (s *sim) runEpoch(epoch int) (*EpochStats, error) {
 
 	// 4. Generate and serve the epoch's traffic.
 	s.readCosts = newCostHist()
+	sv := root.Child("epoch.serve")
 	s.scheduleTraffic(stats)
 	s.sched.Run()
+	sv.SetAttr("reads", strconv.FormatInt(stats.Reads, 10))
+	sv.SetAttr("writes", strconv.FormatInt(stats.Writes, 10))
+	sv.SetNTC(stats.ServeNTC)
+	sv.Finish()
 
 	// 5. Bookkeeping: eq. 4 prediction, latency percentiles and savings.
 	stats.ModelNTC = s.scheme.Cost()

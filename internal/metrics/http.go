@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"time"
 )
 
@@ -41,6 +42,22 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
+}
+
+// EnableRuntimeProfiles turns on the runtime's contention profilers so the
+// /debug/pprof/block and /debug/pprof/mutex endpoints carry data.
+// blockRate is the blocking-event sampling rate in nanoseconds (1 samples
+// every event; see runtime.SetBlockProfileRate) and mutexFraction samples
+// 1/n of mutex contention events (see runtime.SetMutexProfileFraction).
+// Zero leaves the corresponding profiler untouched; both default to off
+// because sampling taxes every contended lock in the process.
+func EnableRuntimeProfiles(blockRate, mutexFraction int) {
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
 }
 
 // Addr returns the bound listen address (host:port).

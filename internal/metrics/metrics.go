@@ -116,6 +116,51 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // Bounds returns the histogram's upper bucket bounds (without +Inf).
 func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
 
+// Quantile estimates the p-quantile (p in [0,1]) of the observed values by
+// linear interpolation inside the containing bucket. Mass in the +Inf
+// bucket clamps to the highest finite bound — the estimate never invents
+// values beyond the ladder — and an empty histogram reports 0. Concurrent
+// observers may move individual buckets mid-read; like Prometheus's
+// histogram_quantile, the estimate is only as consistent as the scrape.
+func (h *Histogram) Quantile(p float64) float64 {
+	cum := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	return bucketQuantile(h.bounds, cum, p)
+}
+
+// bucketQuantile interpolates the p-quantile from cumulative bucket counts.
+// cum has len(bounds)+1 entries; the last is the +Inf bucket. The first
+// finite bucket interpolates from a lower edge of 0, matching the
+// all-positive ladders ExponentialBuckets builds.
+func bucketQuantile(bounds []float64, cum []uint64, p float64) float64 {
+	if len(cum) == 0 || cum[len(cum)-1] == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := p * float64(cum[len(cum)-1])
+	idx := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if idx >= len(bounds) {
+		return bounds[len(bounds)-1]
+	}
+	lo, below := 0.0, uint64(0)
+	if idx > 0 {
+		lo, below = bounds[idx-1], cum[idx-1]
+	}
+	in := cum[idx] - below
+	if in == 0 {
+		return bounds[idx]
+	}
+	return lo + (bounds[idx]-lo)*(rank-float64(below))/float64(in)
+}
+
 // ExponentialBuckets returns count ascending bounds start, start·factor,
 // start·factor², … — the fixed exponential ladders every histogram in this
 // repository uses. start must be positive and factor > 1.

@@ -256,3 +256,63 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", got)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("drp_q", "", []float64{10, 20, 40}, nil)
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+
+	// 10 observations spread evenly through the first bucket (0,10].
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	// p50 ranks 5 of 10 into [0,10): linear interpolation gives 5.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("p100 = %v, want bucket bound 10, got %v", got, got)
+	}
+
+	// Add 10 observations in (20,40]: 20 total, half below 10.
+	for i := 0; i < 10; i++ {
+		h.Observe(30)
+	}
+	// p75 ranks 15 of 20 → 5 into the (20,40] bucket of mass 10 → 30.
+	if got := h.Quantile(0.75); got != 30 {
+		t.Fatalf("p75 = %v, want 30", got)
+	}
+
+	// +Inf mass clamps to the highest finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 40 {
+		t.Fatalf("p100 with +Inf mass = %v, want clamp to 40", got)
+	}
+
+	// Out-of-range p clamps rather than panicking.
+	if got := h.Quantile(-1); got != 0 {
+		t.Fatalf("p(-1) = %v, want 0", got)
+	}
+}
+
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("drp_q", "", []float64{10, 20}, nil)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	s := r.Snapshot()
+	if len(s.Instruments) != 1 {
+		t.Fatalf("instruments = %d, want 1", len(s.Instruments))
+	}
+	is := s.Instruments[0]
+	if is.P50 != h.Quantile(0.5) || is.P99 != h.Quantile(0.99) {
+		t.Fatalf("snapshot p50/p99 = %v/%v, want %v/%v", is.P50, is.P99, h.Quantile(0.5), h.Quantile(0.99))
+	}
+	if is.P50 != 5 {
+		t.Fatalf("p50 = %v, want 5", is.P50)
+	}
+}

@@ -24,10 +24,14 @@ type InstrumentSnapshot struct {
 	// Value carries counters (integral) and gauges.
 	Value float64 `json:"value,omitempty"`
 
-	// Count/Sum/Buckets carry histograms.
+	// Count/Sum/Buckets carry histograms. P50/P99 are the interpolated
+	// quantile estimates at freeze time (see Histogram.Quantile); they are
+	// derived from Buckets, kept for direct consumption.
 	Count   uint64   `json:"count,omitempty"`
 	Sum     float64  `json:"sum,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+	P50     float64  `json:"p50,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry, ordered by (name,
@@ -53,10 +57,15 @@ func (r *Registry) Snapshot() Snapshot {
 			is.Sum = h.Sum()
 			var cum uint64
 			is.Buckets = make([]Bucket, len(h.bounds))
+			cumAll := make([]uint64, len(h.bounds)+1)
 			for i, bound := range h.bounds {
 				cum += h.counts[i].Load()
 				is.Buckets[i] = Bucket{LE: bound, Count: cum}
+				cumAll[i] = cum
 			}
+			cumAll[len(h.bounds)] = cum + h.counts[len(h.bounds)].Load()
+			is.P50 = bucketQuantile(h.bounds, cumAll, 0.50)
+			is.P99 = bucketQuantile(h.bounds, cumAll, 0.99)
 		}
 		out.Instruments = append(out.Instruments, is)
 	}

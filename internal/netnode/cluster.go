@@ -10,6 +10,7 @@ import (
 	"drp/internal/membership"
 	"drp/internal/metrics"
 	"drp/internal/plan"
+	"drp/internal/spans"
 	"drp/internal/store"
 	"drp/internal/xrand"
 )
@@ -39,6 +40,7 @@ type Cluster struct {
 	dataDir    string            // "" for a memory cluster
 	storeOpts  store.Options     // per-site store options (durable clusters)
 	metricsReg *metrics.Registry // re-applied to restarted nodes
+	tracer     *spans.Tracer     // shared request tracer; re-applied to restarted nodes
 }
 
 // SiteDir returns the data directory of site i under a cluster root.
@@ -182,6 +184,9 @@ func (c *Cluster) RestartNode(i int) (*Node, error) {
 	if c.metricsReg != nil {
 		node.SetMetrics(c.metricsReg)
 	}
+	if c.tracer != nil {
+		node.SetTracer(c.tracer)
+	}
 	c.nodes[i] = node
 	c.rewirePeers()
 	return node, nil
@@ -248,7 +253,7 @@ func (c *Cluster) Close() {
 // every site's nearest-replica records and every site's replicator list
 // (the read-failover ranking). Returns the migration transfer cost (each
 // new replica fetched from the nearest prior holder).
-func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
+func (c *Cluster) Deploy(next *core.Scheme) (migration int64, err error) {
 	if c.current == nil {
 		return 0, errors.New("netnode: deployed plan has no scheme form; use ApplyPlan")
 	}
@@ -257,18 +262,23 @@ func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
 		return 0, err
 	}
 	nextPlan.Epoch = c.plan.Epoch
-	migration := c.current.MigrationCost(next)
+	migration = c.current.MigrationCost(next)
 	added, removed := c.current.Diff(next)
+	root := c.tracer.Root("deploy")
+	defer func() {
+		root.SetErr(err)
+		root.Finish()
+	}()
 	for _, pl := range added {
 		// New replicas start at the primary's current version: placing a
 		// replica is a fetch of the latest copy.
 		version := c.nodes[c.p.Primary(pl.Object)].Version(pl.Object)
-		if err := c.command(pl.Site, message{Op: "place", Object: pl.Object, Version: version}); err != nil {
+		if err := c.command(pl.Site, message{Op: "place", Object: pl.Object, Version: version}, root); err != nil {
 			return 0, err
 		}
 	}
 	for _, pl := range removed {
-		if err := c.command(pl.Site, message{Op: "drop", Object: pl.Object}); err != nil {
+		if err := c.command(pl.Site, message{Op: "drop", Object: pl.Object}, root); err != nil {
 			return 0, err
 		}
 	}
@@ -284,27 +294,33 @@ func (c *Cluster) Deploy(next *core.Scheme) (int64, error) {
 	nearest := core.NewNearestTable(next)
 	for k := range touched {
 		repl := next.Replicators(k)
-		if err := c.command(c.p.Primary(k), message{Op: "registry", Object: k, Sites: repl}); err != nil {
+		if err := c.command(c.p.Primary(k), message{Op: "registry", Object: k, Sites: repl}, root); err != nil {
 			return 0, err
 		}
 		for _, i := range c.members {
-			if err := c.command(i, message{Op: "nearest", Object: k, Site: nearest.Nearest(i, k)}); err != nil {
+			if err := c.command(i, message{Op: "nearest", Object: k, Site: nearest.Nearest(i, k)}, root); err != nil {
 				return 0, err
 			}
-			if err := c.command(i, message{Op: "replicas", Object: k, Sites: repl}); err != nil {
+			if err := c.command(i, message{Op: "replicas", Object: k, Sites: repl}, root); err != nil {
 				return 0, err
 			}
 		}
 	}
+	// The migration cost is computed analytically (each new replica
+	// fetched from the nearest prior holder); attribute it to the
+	// deploy's root span.
+	root.SetNTC(migration)
 	c.current = next.Clone()
 	c.plan = nextPlan
 	return migration, nil
 }
 
 // command sends one coordinator request to a site, retrying transport
-// failures per the coordinator's retry policy.
-func (c *Cluster) command(site int, msg message) error {
-	resp, err := c.exchange(site, msg)
+// failures per the coordinator's retry policy. parent, when non-nil,
+// receives one rpc child span per attempt (the coordinator-side mirror
+// of Node.call).
+func (c *Cluster) command(site int, msg message, parent *spans.Span) error {
+	resp, err := c.exchange(site, msg, parent)
 	if err != nil {
 		return err
 	}
@@ -314,7 +330,7 @@ func (c *Cluster) command(site int, msg message) error {
 	return nil
 }
 
-func (c *Cluster) exchange(site int, msg message) (reply, error) {
+func (c *Cluster) exchange(site int, msg message, parent *spans.Span) (reply, error) {
 	if c.nodes[site] == nil {
 		return reply{}, fmt.Errorf("netnode: site %d is not a member", site)
 	}
@@ -330,10 +346,17 @@ func (c *Cluster) exchange(site int, msg message) (reply, error) {
 				time.Sleep(d)
 			}
 		}
+		att := parent.Child("rpc." + msg.Op)
+		att.SetPeer(site)
+		att.SetAttempt(a)
+		msg.Trace, msg.Span = att.Context()
 		resp, err := callOnce(c.dial, addr, msg, c.reqTimeout)
 		if err == nil {
+			att.Finish()
 			return resp, nil
 		}
+		att.SetErr(err)
+		att.Finish()
 		lastErr = err
 	}
 	return reply{}, lastErr
@@ -451,13 +474,23 @@ func (c *Cluster) Reconcile() (int64, int, error) {
 	remaining := 0
 	for k := 0; k < c.p.Objects(); k++ {
 		sp := c.plan.Primaries[k]
-		resp, err := c.exchange(sp, message{Op: "reconcile", Object: k})
+		// One root span per object: the re-sync transfers themselves are
+		// recorded primary-side and stitch in over the wire context.
+		root := c.tracer.Root("reconcile")
+		root.SetObject(k)
+		root.SetPeer(sp)
+		resp, err := c.exchange(sp, message{Op: "reconcile", Object: k}, root)
 		if err != nil {
+			root.SetErr(err)
+			root.Finish()
 			return total, remaining, fmt.Errorf("reconcile object %d: %w", k, err)
 		}
 		if !resp.OK {
+			root.SetErrText(resp.Err)
+			root.Finish()
 			return total, remaining, fmt.Errorf("reconcile object %d: %w", k, &ReplyError{Code: resp.Code, Msg: resp.Err})
 		}
+		root.Finish()
 		total += resp.Cost
 		remaining += len(resp.Stale)
 	}

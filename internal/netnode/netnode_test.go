@@ -141,7 +141,7 @@ func TestDropPrimaryRejected(t *testing.T) {
 	p := gen(t, 3, 3, 0.05, 0.5, 5)
 	c := startCluster(t, p)
 	k := 0
-	if err := c.command(p.Primary(k), message{Op: "drop", Object: k}); err == nil {
+	if err := c.command(p.Primary(k), message{Op: "drop", Object: k}, nil); err == nil {
 		t.Fatal("primary drop accepted")
 	}
 }
@@ -149,10 +149,10 @@ func TestDropPrimaryRejected(t *testing.T) {
 func TestUnknownOpAndBadObject(t *testing.T) {
 	p := gen(t, 2, 2, 0.05, 0.5, 6)
 	c := startCluster(t, p)
-	if err := c.command(0, message{Op: "warp", Object: 0}); err == nil {
+	if err := c.command(0, message{Op: "warp", Object: 0}, nil); err == nil {
 		t.Fatal("unknown op accepted")
 	}
-	if err := c.command(0, message{Op: "read", Object: 99}); err == nil {
+	if err := c.command(0, message{Op: "read", Object: 99}, nil); err == nil {
 		t.Fatal("out-of-range object accepted")
 	}
 }
@@ -168,7 +168,7 @@ func TestReadFromNonHolderFails(t *testing.T) {
 	if reader == p.Primary(k) {
 		reader = nonHolder
 	}
-	if err := c.command(reader, message{Op: "nearest", Object: k, Site: nonHolder}); err != nil {
+	if err := c.command(reader, message{Op: "nearest", Object: k, Site: nonHolder}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if nonHolder != reader {

@@ -44,11 +44,16 @@ import (
 	"time"
 
 	"drp/internal/core"
+	"drp/internal/spans"
 	"drp/internal/store"
 	"drp/internal/xrand"
 )
 
-// message is the wire format: one JSON object per line.
+// message is the wire format: one JSON object per line. Trace and Span
+// carry the caller's trace context (the trace ID and the exact rpc
+// attempt span that sent this message), so server-side spans stitch
+// into the caller's tree; both are empty — and absent from the wire —
+// when the request is untraced or unsampled.
 type message struct {
 	Op      string `json:"op"`
 	Object  int    `json:"obj"`
@@ -56,6 +61,8 @@ type message struct {
 	Site    int    `json:"site,omitempty"`
 	Sites   []int  `json:"sites,omitempty"`
 	Version int64  `json:"version,omitempty"`
+	Trace   string `json:"trace,omitempty"`
+	Span    string `json:"span,omitempty"`
 }
 
 // reply is the wire response.
@@ -139,7 +146,8 @@ type Node struct {
 
 	mu      sync.Mutex
 	peers   []string
-	metrics *nodeMetrics // telemetry instruments; nil when disabled
+	metrics *nodeMetrics  // telemetry instruments; nil when disabled
+	tracer  *spans.Tracer // request tracing; nil when disabled
 
 	dial       Dialer
 	retry      RetryPolicy
@@ -410,13 +418,32 @@ func storageReply(err error) reply {
 	return reply{Code: CodeStorage, Err: fmt.Sprintf("storage: %v", err)}
 }
 
+// handle wraps the op dispatch in a server-side span when the message
+// carries wire trace context and this node has a tracer attached; the
+// span nests under the caller's exact rpc attempt span.
 func (n *Node) handle(msg message) reply {
 	n.mu.Lock()
 	nm := n.metrics
+	tr := n.tracer
 	n.mu.Unlock()
 	if nm != nil {
 		nm.served(msg.Op)
 	}
+	sv := tr.StartRemote(msg.Trace, msg.Span, "serve."+msg.Op)
+	sv.SetSite(n.site)
+	sv.SetObject(msg.Object)
+	resp := n.serveOp(msg, sv)
+	if !resp.OK {
+		sv.SetErrText(resp.Err)
+	}
+	sv.Finish()
+	return resp
+}
+
+// serveOp dispatches one request. sv is the server-side span (nil when
+// the request is untraced); ops that fan out — update's broadcast,
+// reconcile's re-syncs — hang their transfer spans under it.
+func (n *Node) serveOp(msg message, sv *spans.Span) reply {
 	if msg.Object < 0 || msg.Object >= n.p.Objects() {
 		return reply{Code: CodeBadObject, Err: fmt.Sprintf("object %d out of range", msg.Object)}
 	}
@@ -438,11 +465,14 @@ func (n *Node) handle(msg message) reply {
 		if n.st.PrimaryOf(msg.Object) != n.site {
 			return reply{Code: CodeNotPrimary, Err: fmt.Sprintf("site %d is not the primary of object %d", n.site, msg.Object)}
 		}
+		ws := walSpan(sv, n.st, "bump_version")
 		version, err := n.st.BumpVersion(msg.Object)
+		ws.SetErr(err)
+		ws.Finish()
 		if err != nil {
 			return storageReply(err)
 		}
-		cost, stale, err := n.broadcast(msg.Object, msg.From, version)
+		cost, stale, err := n.broadcast(msg.Object, msg.From, version, sv)
 		if err != nil {
 			return errorReply(err)
 		}
@@ -538,7 +568,7 @@ func (n *Node) handle(msg message) reply {
 		if n.st.PrimaryOf(msg.Object) != n.site {
 			return reply{Code: CodeNotPrimary, Err: "reconcile sent to a non-primary"}
 		}
-		cost, remaining, err := n.reconcile(msg.Object)
+		cost, remaining, err := n.reconcile(msg.Object, sv)
 		if err != nil {
 			return errorReply(err)
 		}
@@ -574,7 +604,7 @@ func errorReply(err error) reply {
 // marked stale for later reconciliation instead of failing the write; the
 // returned cost covers only the syncs that landed. Stale marks hit the
 // log before the write is acknowledged.
-func (n *Node) broadcast(obj, writer int, version int64) (int64, []int, error) {
+func (n *Node) broadcast(obj, writer int, version int64, parent *spans.Span) (int64, []int, error) {
 	targets := n.st.Registry(obj)
 	n.mu.Lock()
 	peers := n.peers
@@ -589,15 +619,26 @@ func (n *Node) broadcast(obj, writer int, version int64) (int64, []int, error) {
 		if j < 0 || j >= len(peers) {
 			return 0, nil, fmt.Errorf("replicator %d has no known address", j)
 		}
-		resp, err := n.call(peers[j], message{Op: "sync", Object: obj, Version: version})
+		ss := parent.Child("sync")
+		ss.SetSite(n.site)
+		ss.SetPeer(j)
+		ss.SetObject(obj)
+		resp, err := n.call(peers[j], message{Op: "sync", Object: obj, Version: version}, ss)
 		if err != nil {
+			ss.SetErr(err)
+			ss.SetVerdict("stale")
+			ss.Finish()
 			missed = append(missed, j)
 			continue
 		}
 		if !resp.OK {
+			ss.SetErrText(resp.Err)
+			ss.Finish()
 			return 0, nil, &ReplyError{Code: resp.Code, Msg: fmt.Sprintf("sync to site %d: %s", j, resp.Err)}
 		}
 		cost += n.p.Size(obj) * n.p.Cost(n.site, j)
+		ss.SetNTC(n.p.Size(obj) * n.p.Cost(n.site, j))
+		ss.Finish()
 		if err := n.st.ClearStale(obj, j); err != nil {
 			return 0, nil, err
 		}
@@ -616,7 +657,7 @@ func (n *Node) broadcast(obj, writer int, version int64) (int64, []int, error) {
 // reconcile re-syncs the stale replicas of an object primaried here,
 // returning the transfer cost of the copies that shipped and the sites
 // that remain unreachable.
-func (n *Node) reconcile(obj int) (int64, []int, error) {
+func (n *Node) reconcile(obj int, parent *spans.Span) (int64, []int, error) {
 	targets := n.st.StaleSites(obj)
 	version := n.st.Version(obj)
 	n.mu.Lock()
@@ -629,12 +670,25 @@ func (n *Node) reconcile(obj int) (int64, []int, error) {
 			remaining = append(remaining, j)
 			continue
 		}
-		resp, err := n.call(peers[j], message{Op: "sync", Object: obj, Version: version})
+		ss := parent.Child("sync")
+		ss.SetSite(n.site)
+		ss.SetPeer(j)
+		ss.SetObject(obj)
+		resp, err := n.call(peers[j], message{Op: "sync", Object: obj, Version: version}, ss)
 		if err != nil || !resp.OK {
+			if err != nil {
+				ss.SetErr(err)
+			} else {
+				ss.SetErrText(resp.Err)
+			}
+			ss.SetVerdict("stale")
+			ss.Finish()
 			remaining = append(remaining, j)
 			continue
 		}
 		cost += n.p.Size(obj) * n.p.Cost(n.site, j)
+		ss.SetNTC(n.p.Size(obj) * n.p.Cost(n.site, j))
+		ss.Finish()
 		if err := n.st.ClearStale(obj, j); err != nil {
 			return cost, remaining, err
 		}
@@ -671,7 +725,7 @@ func (n *Node) readCandidates(obj, nearest int, replicas []int, peers []string) 
 // failing over to the next-nearest live replica when sites are down.
 // Returns the transfer cost incurred. ErrNoReplica reports that every
 // replica was unreachable.
-func (n *Node) Read(obj int) (int64, error) {
+func (n *Node) Read(obj int) (cost int64, err error) {
 	start := time.Now()
 	if obj < 0 || obj >= n.p.Objects() {
 		return 0, fmt.Errorf("netnode: object %d out of range", obj)
@@ -682,8 +736,17 @@ func (n *Node) Read(obj int) (int64, error) {
 	n.mu.Lock()
 	peers := n.peers
 	nm := n.metrics
+	tr := n.tracer
 	n.mu.Unlock()
+	root := tr.Root("read")
+	root.SetSite(n.site)
+	root.SetObject(obj)
+	defer func() {
+		root.SetErr(err)
+		root.Finish()
+	}()
 	if local {
+		root.SetAttr("source", "local")
 		if nm != nil {
 			nm.read(true, 0, time.Since(start))
 		}
@@ -691,8 +754,13 @@ func (n *Node) Read(obj int) (int64, error) {
 	}
 	var lastErr error
 	for idx, j := range n.readCandidates(obj, target, replicas, peers) {
-		resp, err := n.call(peers[j], message{Op: "read", Object: obj})
+		hop := root.Child("read.hop")
+		hop.SetPeer(j)
+		hop.SetHop(idx)
+		resp, err := n.call(peers[j], message{Op: "read", Object: obj}, hop)
 		if err != nil {
+			hop.SetErr(err)
+			hop.Finish()
 			lastErr = err
 			continue
 		}
@@ -700,12 +768,17 @@ func (n *Node) Read(obj int) (int64, error) {
 			// A live peer refusing the read is a coordination bug (e.g. a
 			// stale nearest record pointing at a non-holder): fail loudly
 			// rather than silently serving from elsewhere.
+			hop.SetErrText(resp.Err)
+			hop.Finish()
 			return 0, &ReplyError{Code: resp.Code, Msg: resp.Err}
 		}
 		cost := n.p.Size(obj) * n.p.Cost(n.site, j)
 		if err := n.st.AddNTC(cost); err != nil {
+			hop.Finish()
 			return 0, err
 		}
+		hop.SetNTC(cost)
+		hop.Finish()
 		if nm != nil {
 			nm.read(false, cost, time.Since(start))
 			if idx > 0 {
@@ -730,23 +803,34 @@ func (n *Node) Read(obj int) (int64, error) {
 // the broadcast). When the primary itself is unreachable the write is
 // queued locally — durably, in durable mode — and ErrWriteQueued is
 // returned; FlushPending retries it.
-func (n *Node) Write(obj int) (int64, error) {
+func (n *Node) Write(obj int) (cost int64, err error) {
 	start := time.Now()
 	if obj < 0 || obj >= n.p.Objects() {
 		return 0, fmt.Errorf("netnode: object %d out of range", obj)
 	}
 	n.mu.Lock()
 	nm := n.metrics
+	tr := n.tracer
 	n.mu.Unlock()
 	sp := n.st.PrimaryOf(obj)
-	var cost int64
+	root := tr.Root("write")
+	root.SetSite(n.site)
+	root.SetObject(obj)
+	root.SetPeer(sp)
+	defer func() {
+		root.SetErr(err)
+		root.Finish()
+	}()
 	if sp == n.site {
 		// Local primary: no shipping; bump the version and broadcast.
+		ws := walSpan(root, n.st, "bump_version")
 		version, err := n.st.BumpVersion(obj)
+		ws.SetErr(err)
+		ws.Finish()
 		if err != nil {
 			return 0, err
 		}
-		bcast, _, err := n.broadcast(obj, n.site, version)
+		bcast, _, err := n.broadcast(obj, n.site, version, root)
 		if err != nil {
 			return 0, err
 		}
@@ -758,22 +842,38 @@ func (n *Node) Write(obj int) (int64, error) {
 		if sp >= len(peers) {
 			return 0, fmt.Errorf("netnode: no address for primary site %d", sp)
 		}
-		resp, err := n.call(peers[sp], message{Op: "update", Object: obj, From: n.site})
+		ship := root.Child("write.ship")
+		ship.SetPeer(sp)
+		resp, err := n.call(peers[sp], message{Op: "update", Object: obj, From: n.site}, ship)
 		if err != nil {
+			ship.SetErr(err)
+			ship.Finish()
 			// Primary unreachable: queue-and-flag. The write is not lost —
 			// it is logged before ErrWriteQueued is returned, and
 			// FlushPending replays it once the primary is back.
-			if qerr := n.st.Queue(obj); qerr != nil {
+			qs := root.Child("write.queue")
+			ws := walSpan(qs, n.st, "queue")
+			qerr := n.st.Queue(obj)
+			ws.SetErr(qerr)
+			ws.Finish()
+			qs.SetErr(qerr)
+			qs.Finish()
+			if qerr != nil {
 				return 0, qerr
 			}
 			if nm != nil {
 				nm.degraded("write_queued")
 			}
+			root.SetVerdict("queued")
 			return 0, fmt.Errorf("%w: object %d: %v", ErrWriteQueued, obj, err)
 		}
 		if !resp.OK {
+			ship.SetErrText(resp.Err)
+			ship.Finish()
 			return 0, &ReplyError{Code: resp.Code, Msg: resp.Err}
 		}
+		ship.SetNTC(n.p.Size(obj) * n.p.Cost(n.site, sp))
+		ship.Finish()
 		cost = n.p.Size(obj)*n.p.Cost(n.site, sp) + resp.Cost
 		// The broadcast skips the writer (it produced the new version), so
 		// a writer that is itself a replicator adopts the version locally.
@@ -799,6 +899,7 @@ func (n *Node) FlushPending() (int64, error) {
 	n.mu.Lock()
 	peers := n.peers
 	nm := n.metrics
+	tr := n.tracer
 	n.mu.Unlock()
 	sort.Ints(objs)
 	var total int64
@@ -808,23 +909,43 @@ func (n *Node) FlushPending() (int64, error) {
 			return total, fmt.Errorf("netnode: no address for primary site %d", sp)
 		}
 		for n.st.PendingCount(obj) > 0 {
-			resp, err := n.call(peers[sp], message{Op: "update", Object: obj, From: n.site})
+			root := tr.Root("write.flush")
+			root.SetSite(n.site)
+			root.SetObject(obj)
+			root.SetPeer(sp)
+			ship := root.Child("write.ship")
+			ship.SetPeer(sp)
+			resp, err := n.call(peers[sp], message{Op: "update", Object: obj, From: n.site}, ship)
 			if err != nil {
+				ship.SetErr(err)
+				ship.Finish()
+				root.SetErr(err)
+				root.Finish()
 				break // still unreachable; keep the remainder queued
 			}
 			if !resp.OK {
+				ship.SetErrText(resp.Err)
+				ship.Finish()
+				root.SetErrText(resp.Err)
+				root.Finish()
 				return total, &ReplyError{Code: resp.Code, Msg: resp.Err}
 			}
+			ship.SetNTC(n.p.Size(obj) * n.p.Cost(n.site, sp))
+			ship.Finish()
 			cost := n.p.Size(obj)*n.p.Cost(n.site, sp) + resp.Cost
 			if err := n.st.Dequeue(obj); err != nil {
+				root.Finish()
 				return total, err
 			}
 			if err := n.st.AddNTC(cost); err != nil {
+				root.Finish()
 				return total, err
 			}
 			if _, _, err := n.st.AdoptVersion(obj, resp.Version); err != nil {
+				root.Finish()
 				return total, err
 			}
+			root.Finish()
 			total += cost
 			if nm != nil {
 				nm.flushed(cost)
@@ -837,8 +958,10 @@ func (n *Node) FlushPending() (int64, error) {
 // call dials addr, sends one request and reads one reply, retrying
 // transport failures per the node's RetryPolicy with capped, jittered
 // exponential backoff. Protocol rejections are returned as replies, never
-// retried.
-func (n *Node) call(addr string, msg message) (reply, error) {
+// retried. Each attempt gets its own rpc span under parent, and the
+// attempt's span IDs ride the wire so the peer's serve span nests under
+// the exact attempt that reached it.
+func (n *Node) call(addr string, msg message, parent *spans.Span) (reply, error) {
 	n.mu.Lock()
 	dial := n.dial
 	rp := n.retry
@@ -862,10 +985,16 @@ func (n *Node) call(addr string, msg message) (reply, error) {
 				time.Sleep(d)
 			}
 		}
+		att := parent.Child("rpc." + msg.Op)
+		att.SetAttempt(a)
+		msg.Trace, msg.Span = att.Context()
 		resp, err := callOnce(dial, addr, msg, timeout)
 		if err == nil {
+			att.Finish()
 			return resp, nil
 		}
+		att.SetErr(err)
+		att.Finish()
 		if nm != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"drp/internal/core"
 	"drp/internal/membership"
 	"drp/internal/plan"
+	"drp/internal/spans"
 	"drp/internal/store"
 	"drp/internal/xrand"
 )
@@ -244,6 +246,9 @@ func (c *Cluster) Join(site int, cost plan.CostFn) (*Node, error) {
 	if c.metricsReg != nil {
 		node.SetMetrics(c.metricsReg)
 	}
+	if c.tracer != nil {
+		node.SetTracer(c.tracer)
+	}
 	c.nodes[site] = node
 	c.members = append(c.members, site)
 	sort.Ints(c.members)
@@ -255,12 +260,18 @@ func (c *Cluster) Join(site int, cost plan.CostFn) (*Node, error) {
 }
 
 // syncJoined pushes the deployed plan's routing state to a joined site.
-func (c *Cluster) syncJoined(site int, cost plan.CostFn) error {
+func (c *Cluster) syncJoined(site int, cost plan.CostFn) (err error) {
 	node := c.nodes[site]
+	root := c.tracer.Root("join.sync")
+	root.SetPeer(site)
+	defer func() {
+		root.SetErr(err)
+		root.Finish()
+	}()
 	for k := 0; k < c.p.Objects(); k++ {
 		sp := c.plan.Primaries[k]
 		if node.st.PrimaryOf(k) != sp {
-			if err := c.command(site, message{Op: "primary", Object: k, Site: sp}); err != nil {
+			if err := c.command(site, message{Op: "primary", Object: k, Site: sp}, root); err != nil {
 				return err
 			}
 		}
@@ -268,14 +279,14 @@ func (c *Cluster) syncJoined(site int, cost plan.CostFn) error {
 			// A rejoining site that was drained while away (memory mode
 			// re-bootstraps its universe primaries; a crashed WAL can hold
 			// pre-drain state).
-			if err := c.command(site, message{Op: "drop", Object: k}); err != nil {
+			if err := c.command(site, message{Op: "drop", Object: k}, root); err != nil {
 				return err
 			}
 		}
-		if err := c.command(site, message{Op: "nearest", Object: k, Site: nearestOf(c.plan, site, k, cost)}); err != nil {
+		if err := c.command(site, message{Op: "nearest", Object: k, Site: nearestOf(c.plan, site, k, cost)}, root); err != nil {
 			return err
 		}
-		if err := c.command(site, message{Op: "replicas", Object: k, Sites: c.plan.Placement[k]}); err != nil {
+		if err := c.command(site, message{Op: "replicas", Object: k, Sites: c.plan.Placement[k]}, root); err != nil {
 			return err
 		}
 	}
@@ -351,9 +362,14 @@ func (c *Cluster) ApplyPlan(next *plan.Plan, cost plan.CostFn) (*ApplyReport, er
 		}
 	}
 	rep := &ApplyReport{Steps: len(steps)}
-	if err := c.runSteps(steps, c.plan, next, cost, rep); err != nil {
+	root := c.tracer.Root("plan.apply")
+	root.SetAttr("epoch", strconv.Itoa(next.Epoch))
+	if err := c.runSteps(steps, c.plan, next, cost, rep, root); err != nil {
+		root.SetErr(err)
+		root.Finish()
 		return rep, err
 	}
+	root.Finish()
 	c.plan = next.Clone()
 	c.current = schemeOfPlan(c.p, c.plan)
 	return rep, nil
@@ -363,7 +379,7 @@ func (c *Cluster) ApplyPlan(next *plan.Plan, cost plan.CostFn) (*ApplyReport, er
 // (copies, promotes, drops); the routing refresh for every touched object
 // runs after the promotes so no drop happens while a nearest record still
 // points at the dropping site.
-func (c *Cluster) runSteps(steps []plan.Step, old, next *plan.Plan, cost plan.CostFn, rep *ApplyReport) error {
+func (c *Cluster) runSteps(steps []plan.Step, old, next *plan.Plan, cost plan.CostFn, rep *ApplyReport, parent *spans.Span) error {
 	touched := make(map[int]bool)
 	for _, s := range steps {
 		touched[s.Object] = true
@@ -371,7 +387,7 @@ func (c *Cluster) runSteps(steps []plan.Step, old, next *plan.Plan, cost plan.Co
 	refreshed := false
 	for _, s := range steps {
 		if s.Kind == plan.Drop && !refreshed {
-			if err := c.refreshRouting(touched, next, cost); err != nil {
+			if err := c.refreshRouting(touched, next, cost, parent); err != nil {
 				return err
 			}
 			refreshed = true
@@ -379,23 +395,46 @@ func (c *Cluster) runSteps(steps []plan.Step, old, next *plan.Plan, cost plan.Co
 		if c.stepHook != nil {
 			c.stepHook(s)
 		}
-		if err := c.runStep(s, old); err != nil {
+		ss := parent.Child("plan.step")
+		ss.SetAttr("kind", stepKind(s.Kind))
+		ss.SetPeer(s.Site)
+		ss.SetObject(s.Object)
+		if err := c.runStep(s, old, ss); err != nil {
+			ss.SetErr(err)
+			ss.Finish()
 			return err
 		}
 		rep.Completed++
 		if s.Kind == plan.Copy {
 			rep.MigrationNTC += s.Cost
+			// A copy's transfer cost is known a priori (the min-cost source
+			// the diff chose); attribute it to the step span.
+			ss.SetNTC(s.Cost)
 		}
+		ss.Finish()
 	}
 	if !refreshed {
-		if err := c.refreshRouting(touched, next, cost); err != nil {
+		if err := c.refreshRouting(touched, next, cost, parent); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (c *Cluster) runStep(s plan.Step, old *plan.Plan) error {
+// stepKind names a migration step kind for span attributes.
+func stepKind(k plan.StepKind) string {
+	switch k {
+	case plan.Copy:
+		return "copy"
+	case plan.Promote:
+		return "promote"
+	case plan.Drop:
+		return "drop"
+	}
+	return "unknown"
+}
+
+func (c *Cluster) runStep(s plan.Step, old *plan.Plan, parent *spans.Span) error {
 	switch s.Kind {
 	case plan.Copy:
 		// The new replica adopts the current primary's version: a copy is
@@ -405,18 +444,18 @@ func (c *Cluster) runStep(s plan.Step, old *plan.Plan) error {
 		if node := c.nodes[sp]; node != nil {
 			version = node.Version(s.Object)
 		}
-		return c.command(s.Site, message{Op: "place", Object: s.Object, Version: version})
+		return c.command(s.Site, message{Op: "place", Object: s.Object, Version: version}, parent)
 	case plan.Promote:
 		// Every member learns the new primary, so writes route correctly
 		// no matter where they originate.
 		for _, m := range c.members {
-			if err := c.command(m, message{Op: "primary", Object: s.Object, Site: s.Site}); err != nil {
+			if err := c.command(m, message{Op: "primary", Object: s.Object, Site: s.Site}, parent); err != nil {
 				return err
 			}
 		}
 		return nil
 	case plan.Drop:
-		return c.command(s.Site, message{Op: "drop", Object: s.Object})
+		return c.command(s.Site, message{Op: "drop", Object: s.Object}, parent)
 	default:
 		return fmt.Errorf("netnode: unknown step kind %v", s.Kind)
 	}
@@ -425,7 +464,9 @@ func (c *Cluster) runStep(s plan.Step, old *plan.Plan) error {
 // refreshRouting pushes the next plan's routing state for the touched
 // objects: the registry to each object's primary, and the nearest record
 // plus failover ranking to every member.
-func (c *Cluster) refreshRouting(touched map[int]bool, next *plan.Plan, cost plan.CostFn) error {
+func (c *Cluster) refreshRouting(touched map[int]bool, next *plan.Plan, cost plan.CostFn, parent *spans.Span) error {
+	rs := parent.Child("plan.refresh")
+	defer rs.Finish()
 	objs := make([]int, 0, len(touched))
 	for k := range touched {
 		objs = append(objs, k)
@@ -433,14 +474,17 @@ func (c *Cluster) refreshRouting(touched map[int]bool, next *plan.Plan, cost pla
 	sort.Ints(objs)
 	for _, k := range objs {
 		repl := next.Placement[k]
-		if err := c.command(next.Primaries[k], message{Op: "registry", Object: k, Sites: repl}); err != nil {
+		if err := c.command(next.Primaries[k], message{Op: "registry", Object: k, Sites: repl}, rs); err != nil {
+			rs.SetErr(err)
 			return err
 		}
 		for _, m := range c.members {
-			if err := c.command(m, message{Op: "nearest", Object: k, Site: nearestOf(next, m, k, cost)}); err != nil {
+			if err := c.command(m, message{Op: "nearest", Object: k, Site: nearestOf(next, m, k, cost)}, rs); err != nil {
+				rs.SetErr(err)
 				return err
 			}
-			if err := c.command(m, message{Op: "replicas", Object: k, Sites: repl}); err != nil {
+			if err := c.command(m, message{Op: "replicas", Object: k, Sites: repl}, rs); err != nil {
+				rs.SetErr(err)
 				return err
 			}
 		}
@@ -550,6 +594,9 @@ func (c *Cluster) ResumeMigration(cost plan.CostFn) (*ApplyReport, bool, error) 
 		return nil, false, err
 	}
 	rep := &ApplyReport{Steps: len(steps)}
+	root := c.tracer.Root("plan.resume")
+	root.SetAttr("epoch", strconv.Itoa(target.Epoch))
+	defer root.Finish()
 	if len(steps) == 0 {
 		// Nothing left to move; still adopt the target as the deployed
 		// plan (epoch, view) and make sure the routing state matches it.
@@ -557,14 +604,16 @@ func (c *Cluster) ResumeMigration(cost plan.CostFn) (*ApplyReport, bool, error) 
 		for k := 0; k < c.p.Objects(); k++ {
 			all[k] = true
 		}
-		if err := c.refreshRouting(all, target, cost); err != nil {
+		if err := c.refreshRouting(all, target, cost, root); err != nil {
+			root.SetErr(err)
 			return rep, true, err
 		}
 		c.plan = target
 		c.current = schemeOfPlan(c.p, c.plan)
 		return rep, true, nil
 	}
-	if err := c.runSteps(steps, actual, target, cost, rep); err != nil {
+	if err := c.runSteps(steps, actual, target, cost, rep, root); err != nil {
+		root.SetErr(err)
 		return rep, true, err
 	}
 	// The interrupted run may have fully migrated objects that the
@@ -575,7 +624,8 @@ func (c *Cluster) ResumeMigration(cost plan.CostFn) (*ApplyReport, bool, error) 
 	for k := 0; k < c.p.Objects(); k++ {
 		all[k] = true
 	}
-	if err := c.refreshRouting(all, target, cost); err != nil {
+	if err := c.refreshRouting(all, target, cost, root); err != nil {
+		root.SetErr(err)
 		return rep, true, err
 	}
 	c.plan = target

@@ -1,0 +1,46 @@
+package spans
+
+import (
+	"fmt"
+	"os"
+)
+
+// OpenFile builds the CLI tracing sink shared by drpnet and drpcluster:
+// it creates (truncating) a JSONL span file at path and returns a tracer
+// writing to it plus a close function that flushes and closes the file.
+// clock selects the timestamp source — "logical" (the default, empty
+// string included) yields byte-deterministic files for seeded runs,
+// "wall" real durations. sample keeps every nth root request; values
+// below 1 are rejected rather than silently clamped. Extra exporters
+// (e.g. an EventExporter bridging into the -events sink) receive every
+// span the file does; nils are dropped.
+func OpenFile(path string, sample int64, clock string, extra ...Exporter) (*Tracer, func() error, error) {
+	if sample < 1 {
+		return nil, nil, fmt.Errorf("spans: sample must be >= 1, got %d", sample)
+	}
+	var ck Clock
+	switch clock {
+	case "", "logical":
+		ck = NewLogicalClock()
+	case "wall":
+		ck = WallClock{}
+	default:
+		return nil, nil, fmt.Errorf("spans: unknown clock %q (want logical or wall)", clock)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := NewWriter(f)
+	tr := New(Multi(append([]Exporter{w}, extra...)...))
+	tr.SetClock(ck)
+	tr.SetSample(sample)
+	cl := func() error {
+		flushErr := w.Flush()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return flushErr
+	}
+	return tr, cl, nil
+}

@@ -311,6 +311,15 @@ func (s *Store) Recovered() bool {
 // Dir returns the data directory ("" for a memory store).
 func (s *Store) Dir() string { return s.dir }
 
+// Durable reports whether mutations are appended to a write-ahead log
+// before acknowledgement. The tracing layer uses it to emit wal.append
+// spans only when there is a log to append to.
+func (s *Store) Durable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w != nil
+}
+
 // Site returns the site this store belongs to.
 func (s *Store) Site() int { return s.site }
 

@@ -4,6 +4,11 @@
 // be archived, inspected and replayed against different replication
 // schemes — replaying a full period against a scheme reproduces eq. 4's D
 // exactly.
+//
+// This package describes workload INPUT — which requests arrive, where and
+// when. It is unrelated to drp/internal/spans, which records how the system
+// EXECUTED each request (per-hop spans, retries, transfer costs). Replay a
+// trace.Trace to regenerate traffic; read a spans file to explain it.
 package trace
 
 import (
