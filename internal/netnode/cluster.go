@@ -292,7 +292,12 @@ func (c *Cluster) Deploy(next *core.Scheme) (migration int64, err error) {
 		touched[pl.Object] = true
 	}
 	nearest := core.NewNearestTable(next)
+	objs := make([]int, 0, len(touched))
 	for k := range touched {
+		objs = append(objs, k)
+	}
+	sort.Ints(objs)
+	for _, k := range objs {
 		repl := next.Replicators(k)
 		if err := c.command(c.p.Primary(k), message{Op: "registry", Object: k, Sites: repl}, root); err != nil {
 			return 0, err
