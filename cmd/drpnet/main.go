@@ -54,6 +54,7 @@ import (
 	"drp"
 	ctrl "drp/internal/cluster"
 	"drp/internal/fault"
+	"drp/internal/load"
 	"drp/internal/membership"
 	"drp/internal/metrics"
 	"drp/internal/netnode"
@@ -83,6 +84,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		pop      = fs.Int("pop", 16, "GRA population size")
 		gens     = fs.Int("gens", 15, "GRA generations")
 
+		sloExpr = fs.String("slo", "", `gate the run on client-observed wire latency, e.g. "p99<5ms" (latency terms of the drpload SLO grammar; exits non-zero when unmet)`)
+
 		listenMetrics = fs.String("listen-metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
 		serveFor      = fs.Duration("serve-for", 0, "keep the metrics endpoint up this long after the run (0 = exit immediately)")
 		blockRate     = fs.Int("block-profile-rate", 0, "sample goroutine blocking events at this rate (ns) for /debug/pprof/block (0 = off; requires -listen-metrics)")
@@ -111,6 +114,16 @@ func run(args []string, stdout io.Writer) (err error) {
 
 	// Reject flag combinations that would otherwise be silently ignored.
 	reshaping := *members != "" || *join != "" || *leave != ""
+	slo, err := load.ParseSLO(*sloExpr)
+	if err != nil {
+		return err
+	}
+	if slo.HasNonLatency() {
+		return fmt.Errorf("-slo on drpnet supports latency terms only; err/tput gates need drpload's open-loop accounting")
+	}
+	if slo != nil && reshaping {
+		return fmt.Errorf("-slo cannot combine with the membership scenario; gate a separate drpload run instead")
+	}
 	if *serveFor > 0 && *listenMetrics == "" {
 		return fmt.Errorf("-serve-for keeps the metrics endpoint alive and needs -listen-metrics")
 	}
@@ -245,8 +258,9 @@ func run(args []string, stdout io.Writer) (err error) {
 
 	// The metrics registry is created before the cluster so durable stores
 	// can record drp_store_* counters from their very first replayed record.
+	// An SLO gate needs the latency instruments even without an endpoint.
 	var reg *metrics.Registry
-	if *listenMetrics != "" {
+	if *listenMetrics != "" || slo != nil {
 		reg = metrics.NewRegistry()
 		netnode.RegisterMetricFamilies(reg)
 		store.RegisterMetricFamilies(reg)
@@ -282,14 +296,16 @@ func run(args []string, stdout io.Writer) (err error) {
 
 	if reg != nil {
 		cluster.EnableMetrics(reg)
-		srv, err := metrics.Serve(*listenMetrics, reg)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", srv.Addr())
-		if *serveFor > 0 {
-			defer time.Sleep(*serveFor)
+		if *listenMetrics != "" {
+			srv, err := metrics.Serve(*listenMetrics, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", srv.Addr())
+			if *serveFor > 0 {
+				defer time.Sleep(*serveFor)
+			}
 		}
 	}
 
@@ -321,6 +337,9 @@ func run(args []string, stdout io.Writer) (err error) {
 		if err := runFaulted(cluster, p, scheme, *faultPlan, reg, stdout); err != nil {
 			return err
 		}
+		if err := gateSLO(slo, reg, stdout); err != nil {
+			return err
+		}
 		return writePlanFile(cluster, *planOut, stdout)
 	}
 
@@ -339,7 +358,38 @@ func run(args []string, stdout io.Writer) (err error) {
 		fmt.Fprintln(stdout, "  WARNING: model and wire disagree")
 	}
 	printLatency(reg, stdout)
+	if err := gateSLO(slo, reg, stdout); err != nil {
+		return err
+	}
 	return writePlanFile(cluster, *planOut, stdout)
+}
+
+// gateSLO evaluates a latency SLO against the drp_net_request_seconds
+// histograms and fails the run when it is unmet.
+func gateSLO(slo *load.SLO, reg *metrics.Registry, stdout io.Writer) error {
+	if slo == nil {
+		return nil
+	}
+	out := slo.EvalQuantiles(func(op string, p float64) int64 {
+		h := reg.Histogram("drp_net_request_seconds", "", nil, metrics.Labels{"op": op})
+		return int64(h.Quantile(p) * 1e9)
+	})
+	verdict := "PASS"
+	if !out.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(stdout, "  slo %q: %s\n", out.Expr, verdict)
+	for _, t := range out.Terms {
+		mark := "ok"
+		if !t.Pass {
+			mark = "VIOLATED"
+		}
+		fmt.Fprintf(stdout, "    %-16s actual=%.3fms bound=%.3fms %s\n", t.Term, t.Actual, t.Bound, mark)
+	}
+	if !out.Pass {
+		return fmt.Errorf("SLO %q not met", out.Expr)
+	}
+	return nil
 }
 
 // printLatency reports the client-observed wire latency quantiles when the

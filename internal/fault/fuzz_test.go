@@ -26,6 +26,7 @@ func FuzzFaultPlan(f *testing.F) {
 	f.Add([]byte(`{"seed":9,"events":[{"kind":"crash","site":0,"step":2},{"kind":"restart","site":0,"step":5}]}`))
 	f.Add([]byte(`{"seed":3,"events":[{"kind":"blackhole","site":0,"peer":2,"step":1,"until":6},{"kind":"latency","site":1,"step":1,"until":4,"delay_ms":1}]}`))
 	f.Add([]byte(`{"seed":11,"events":[{"kind":"drop","site":2,"peer":-1,"step":1,"prob":0.5}]}`))
+	f.Add([]byte(`{"seed":13,"events":[{"kind":"linklat","site":0,"peer":2,"delay_ms":2},{"kind":"linklat","site":1,"peer":2,"step":3,"until":8,"delay_ms":1}]}`))
 	f.Add([]byte(`{"seed":2,"events":[{"kind":"crash","site":1,"step":1,"until":2},{"kind":"crash","site":2,"step":2,"until":3},{"kind":"blackhole","site":-1,"peer":0,"step":3,"until":4}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -40,6 +40,11 @@ const (
 	// KindLatency delays connection establishment involving Site by
 	// DelayMS for the window.
 	KindLatency Kind = "latency"
+	// KindLinkLatency delays connection establishment on the Site↔Peer
+	// link, both directions, by DelayMS for the window. Unlike KindLatency
+	// it is per-link, so a matrix of link delays (a geo-latency profile)
+	// is a set of these events; see MatrixPlan.
+	KindLinkLatency Kind = "linklat"
 	// KindDrop makes dials involving Site (or the Site↔Peer link when
 	// Peer ≥ 0) fail with probability Prob during the window, driven by
 	// the plan's seeded RNG.
@@ -98,12 +103,12 @@ func (p *Plan) Validate(m int) error {
 			if e.Site < 0 || e.Site >= m {
 				return fmt.Errorf("%s: site %d out of range [0,%d)", prefix, e.Site, m)
 			}
-		case KindBlackhole:
+		case KindBlackhole, KindLinkLatency:
 			if e.Site < Coordinator || e.Site >= m || e.Peer < Coordinator || e.Peer >= m {
 				return fmt.Errorf("%s: endpoints %d↔%d out of range", prefix, e.Site, e.Peer)
 			}
 			if e.Site == e.Peer {
-				return fmt.Errorf("%s: blackhole needs two distinct endpoints, got %d", prefix, e.Site)
+				return fmt.Errorf("%s: %s needs two distinct endpoints, got %d", prefix, e.Kind, e.Site)
 			}
 		case KindDrop:
 			if e.Site < 0 || e.Site >= m {
@@ -134,16 +139,17 @@ func (p *Plan) Normalize(m int, maxDelay time.Duration) Plan {
 	maxMS := maxDelay.Milliseconds()
 	for _, e := range p.Events {
 		switch e.Kind {
-		case KindCrash, KindRestart, KindLatency, KindBlackhole, KindDrop:
+		case KindCrash, KindRestart, KindLatency, KindBlackhole, KindDrop, KindLinkLatency:
 		default:
 			continue
 		}
-		e.Site = wrapSite(e.Site, m, e.Kind == KindBlackhole)
-		e.Peer = wrapSite(e.Peer, m, e.Kind == KindBlackhole || e.Kind == KindDrop)
+		linkKind := e.Kind == KindBlackhole || e.Kind == KindLinkLatency
+		e.Site = wrapSite(e.Site, m, linkKind)
+		e.Peer = wrapSite(e.Peer, m, linkKind || e.Kind == KindDrop)
 		if e.Kind == KindDrop && e.Site < 0 {
 			e.Site = 0
 		}
-		if e.Kind == KindBlackhole && e.Site == e.Peer {
+		if linkKind && e.Site == e.Peer {
 			if e.Site == Coordinator {
 				e.Peer = 0
 			} else {
@@ -248,15 +254,59 @@ func (p *Plan) Reachable(a, b int, step int64) bool {
 }
 
 // LatencyAt returns the total connection-establishment delay injected on
-// dials involving site a or b at step.
+// dials from a to b at step: site-scoped latency spikes involving either
+// endpoint plus link-scoped delays on the a↔b link.
 func (p *Plan) LatencyAt(a, b int, step int64) time.Duration {
 	var d time.Duration
 	for _, e := range p.Events {
-		if e.Kind == KindLatency && e.active(step) && (e.Site == a || e.Site == b) {
-			d += e.Delay()
+		if !e.active(step) {
+			continue
+		}
+		switch e.Kind {
+		case KindLatency:
+			if e.Site == a || e.Site == b {
+				d += e.Delay()
+			}
+		case KindLinkLatency:
+			if (e.Site == a && e.Peer == b) || (e.Site == b && e.Peer == a) {
+				d += e.Delay()
+			}
 		}
 	}
 	return d
+}
+
+// MatrixPlan builds the latency half of a geo profile: one open-ended
+// link-latency event per site pair with a positive delay in the matrix.
+// The matrix must be square and symmetric with non-negative entries and a
+// zero diagonal (a site does not dial itself over the wire). The returned
+// plan injects delayMS[i][j] on every dial between sites i and j, forever.
+func MatrixPlan(delayMS [][]int64) (Plan, error) {
+	m := len(delayMS)
+	plan := Plan{}
+	for i, row := range delayMS {
+		if len(row) != m {
+			return Plan{}, fmt.Errorf("fault: latency matrix row %d has %d entries, want %d", i, len(row), m)
+		}
+		for j, d := range row {
+			if d < 0 {
+				return Plan{}, fmt.Errorf("fault: negative latency %dms on link %d↔%d", d, i, j)
+			}
+			if i == j {
+				if d != 0 {
+					return Plan{}, fmt.Errorf("fault: latency matrix diagonal [%d][%d] must be zero, got %d", i, j, d)
+				}
+				continue
+			}
+			if delayMS[j][i] != d {
+				return Plan{}, fmt.Errorf("fault: latency matrix asymmetric at [%d][%d]: %d vs %d", i, j, d, delayMS[j][i])
+			}
+			if i < j && d > 0 {
+				plan.Events = append(plan.Events, Event{Kind: KindLinkLatency, Site: i, Peer: j, DelayMS: d})
+			}
+		}
+	}
+	return plan, nil
 }
 
 // DropProb returns the combined drop probability for a dial from a to b

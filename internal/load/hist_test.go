@@ -1,0 +1,182 @@
+package load
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"drp/internal/xrand"
+)
+
+// exactQuantile is the oracle: the value of rank ⌈p·n⌉ in the sorted
+// sample — precisely the element Quantile's bucket walk lands on.
+func exactQuantile(sorted []int64, p float64) int64 {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// quantileBoundsOK checks the histogram's advertised error contract:
+// true ≤ estimate ≤ true·(1 + 2^-subBits) + 1.
+func quantileBoundsOK(t *testing.T, name string, estimate, exact int64) {
+	t.Helper()
+	if estimate < exact {
+		t.Errorf("%s: estimate %d understates exact %d", name, estimate, exact)
+	}
+	upper := float64(exact)*(1+1.0/(1<<subBits)) + 1
+	if float64(estimate) > upper {
+		t.Errorf("%s: estimate %d exceeds bound %.1f (exact %d)", name, estimate, upper, exact)
+	}
+}
+
+// TestQuantileAgainstSortedOracle drives the histogram with several
+// latency-shaped distributions and checks every quantile the report uses
+// against the exact sorted-sample answer, at the documented relative
+// error bound.
+func TestQuantileAgainstSortedOracle(t *testing.T) {
+	const n = 20_000
+	quantiles := []float64{0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0}
+	dists := map[string]func(rng *xrand.Source) int64{
+		"uniform_1ms": func(rng *xrand.Source) int64 { return int64(rng.Float64() * 1e6) },
+		"exponential": func(rng *xrand.Source) int64 { return int64(-math.Log1p(-rng.Float64()) * 5e5) },
+		"heavy_tail": func(rng *xrand.Source) int64 {
+			v := int64(1e3 / math.Pow(1-rng.Float64(), 1.5))
+			if v > maxRecordable {
+				v = maxRecordable // keep the oracle and the recorder in the same domain
+			}
+			return v
+		},
+		"small_values": func(rng *xrand.Source) int64 { return int64(rng.Float64() * 100) },
+		"constant":     func(rng *xrand.Source) int64 { return 42_000 },
+	}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			rng := xrand.New(7)
+			h := NewHist()
+			values := make([]int64, 0, n)
+			for i := 0; i < n; i++ {
+				v := gen(rng)
+				h.Record(v)
+				values = append(values, v)
+			}
+			sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+			for _, p := range quantiles {
+				quantileBoundsOK(t, name, h.Quantile(p), exactQuantile(values, p))
+			}
+			if h.Count() != n {
+				t.Fatalf("count = %d, want %d", h.Count(), n)
+			}
+			var sum int64
+			for _, v := range values {
+				sum += v
+			}
+			if h.Sum() != sum {
+				t.Fatalf("sum = %d, want %d", h.Sum(), sum)
+			}
+			if h.Min() != values[0] || h.Max() != values[n-1] {
+				t.Fatalf("min/max = %d/%d, want %d/%d", h.Min(), h.Max(), values[0], values[n-1])
+			}
+		})
+	}
+}
+
+// TestQuantileExactBelowLinearRange checks that small values (the
+// all-exact band below 2^(subBits+1)) report quantiles with zero bucket
+// error beyond the +1 upper-edge offset.
+func TestQuantileExactBelowLinearRange(t *testing.T) {
+	h := NewHist()
+	for v := int64(0); v < 100; v++ {
+		h.Record(v)
+	}
+	// Rank ⌈0.5·100⌉ = 50 → value 49 (0-indexed rank 49), upper edge 50.
+	if got := h.Quantile(0.50); got != 50 {
+		t.Fatalf("p50 = %d, want 50 (exclusive upper edge of value 49)", got)
+	}
+	if got := h.Quantile(1.0); got != 100 {
+		t.Fatalf("p100 = %d, want 100", got)
+	}
+}
+
+// TestRecordClamps checks the never-drop contract at both extremes.
+func TestRecordClamps(t *testing.T) {
+	h := NewHist()
+	h.Record(-5)
+	h.Record(maxRecordable + 12345)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2 (clamped, not dropped)", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Fatalf("min = %d, want 0", h.Min())
+	}
+	if h.Max() != maxRecordable {
+		t.Fatalf("max = %d, want maxRecordable", h.Max())
+	}
+}
+
+// TestBucketIndexMonotoneAndAligned walks the value range checking the
+// index is monotone and every value lands inside its bucket's bounds.
+func TestBucketIndexMonotoneAndAligned(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 97 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside bucket %d bounds [%d, %d)", v, idx, lo, hi)
+		}
+	}
+	if idx := bucketIndex(maxRecordable); idx >= numBuckets {
+		t.Fatalf("maxRecordable index %d out of range %d", idx, numBuckets)
+	}
+}
+
+// TestMergeMatchesSingleHistogram splits one sample across eight
+// histograms (as the worker pool does) and checks the merge is
+// indistinguishable from recording into one.
+func TestMergeMatchesSingleHistogram(t *testing.T) {
+	rng := xrand.New(3)
+	single := NewHist()
+	parts := make([]*Hist, 8)
+	for i := range parts {
+		parts[i] = NewHist()
+	}
+	for i := 0; i < 10_000; i++ {
+		v := int64(rng.Float64() * 5e7)
+		single.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	merged := NewHist()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	merged.Merge(NewHist()) // empty merge is a no-op
+	if merged.Count() != single.Count() || merged.Sum() != single.Sum() ||
+		merged.Min() != single.Min() || merged.Max() != single.Max() {
+		t.Fatalf("merge diverged: count %d/%d sum %d/%d", merged.Count(), single.Count(), merged.Sum(), single.Sum())
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if merged.Quantile(p) != single.Quantile(p) {
+			t.Fatalf("p%g: merged %d != single %d", p*100, merged.Quantile(p), single.Quantile(p))
+		}
+	}
+}
+
+// TestEmptyHistogram checks the zero-observation edge cases.
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	s := h.Summarize()
+	if s.Count != 0 || s.P99MS != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}

@@ -1,0 +1,245 @@
+package load
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic is the reproducibility contract: equal
+// (profile, sites, objects) inputs must yield byte-identical schedule
+// encodings and equal digests — what lets an A/B run claim both
+// placements faced the same request stream.
+func TestScheduleDeterministic(t *testing.T) {
+	pr := DefaultProfile()
+	pr.Seed = 42
+	pr.Rate = 2000
+	pr.DurationMS = 500
+	pr.Origins = []float64{3, 1, 0, 1}
+
+	a, err := BuildSchedule(4, 50, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(4, 50, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.EncodeTo(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EncodeTo(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("same profile produced different schedule bytes")
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same profile produced different digests: %s vs %s", a.Digest(), b.Digest())
+	}
+	if len(a.Requests) == 0 {
+		t.Fatal("schedule is empty")
+	}
+
+	// A different seed must produce a different stream.
+	pr.Seed = 43
+	c, err := BuildSchedule(4, 50, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("different seeds produced equal digests")
+	}
+}
+
+// TestScheduleShape checks the structural invariants every downstream
+// consumer relies on: ascending arrival times, sites restricted to the
+// positive-weight origins, objects in range, counts consistent.
+func TestScheduleShape(t *testing.T) {
+	pr := DefaultProfile()
+	pr.Rate = 5000
+	pr.DurationMS = 400
+	pr.WriteFraction = 0.3
+	pr.Origins = []float64{1, 0, 2} // site 1 originates nothing
+
+	s, err := BuildSchedule(3, 20, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes int64
+	prev := time.Duration(-1)
+	for _, r := range s.Requests {
+		if r.At <= prev {
+			t.Fatalf("arrivals not strictly ascending: %v after %v", r.At, prev)
+		}
+		prev = r.At
+		if r.Site == 1 {
+			t.Fatal("zero-weight site 1 originated a request")
+		}
+		if r.Site < 0 || r.Site >= 3 || r.Obj < 0 || r.Obj >= 20 {
+			t.Fatalf("request out of range: %+v", r)
+		}
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads != s.Reads || writes != s.Writes {
+		t.Fatalf("counts drifted: %d/%d vs %d/%d", reads, writes, s.Reads, s.Writes)
+	}
+	if s.Duration() >= time.Duration(pr.DurationMS)*time.Millisecond {
+		t.Fatalf("schedule overran its duration: %v", s.Duration())
+	}
+	// WriteFraction 0.3 over thousands of arrivals: crude sanity band.
+	frac := float64(writes) / float64(reads+writes)
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("write fraction %.3f far from 0.3", frac)
+	}
+}
+
+// TestBurstyScheduleConcentratesLoad checks the flash crowd: the burst
+// window must carry a far higher arrival rate than the ambient schedule
+// and focus on the hottest object.
+func TestBurstyScheduleConcentratesLoad(t *testing.T) {
+	pr := DefaultProfile()
+	pr.Rate = 1000
+	pr.DurationMS = 1000
+	pr.Arrival = ArrivalBursty
+	pr.BurstMult = 10
+	pr.BurstStartMS = 400
+	pr.BurstEndMS = 600
+	pr.BurstFocus = 0.9
+
+	s, err := BuildSchedule(4, 50, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBurst, outBurst := 0, 0
+	objCount := map[int]int{}
+	for _, r := range s.Requests {
+		if r.At >= 400*time.Millisecond && r.At < 600*time.Millisecond {
+			inBurst++
+			objCount[r.Obj]++
+		} else {
+			outBurst++
+		}
+	}
+	// The 200ms window at 10× rate should hold ~2000 arrivals vs ~800
+	// ambient; require a clear majority.
+	if inBurst < outBurst {
+		t.Fatalf("burst window holds %d arrivals vs %d ambient — no burst", inBurst, outBurst)
+	}
+	var hot, hotCount int
+	for obj, c := range objCount {
+		if c > hotCount {
+			hot, hotCount = obj, c
+		}
+	}
+	if float64(hotCount) < 0.5*float64(inBurst) {
+		t.Fatalf("hottest object %d got only %d of %d burst requests — no focus", hot, hotCount, inBurst)
+	}
+}
+
+// TestProfileValidate covers the rejection paths the fuzz target also
+// exercises.
+func TestProfileValidate(t *testing.T) {
+	base := DefaultProfile()
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+		substr string
+	}{
+		{"zero rate", func(p *Profile) { p.Rate = 0 }, "rate"},
+		{"negative rate", func(p *Profile) { p.Rate = -1 }, "rate"},
+		{"zero duration", func(p *Profile) { p.DurationMS = 0 }, "duration"},
+		{"unknown arrival", func(p *Profile) { p.Arrival = "chaotic" }, "arrival"},
+		{"burst without bursty", func(p *Profile) { p.BurstMult = 5 }, "burst"},
+		{"bursty without mult", func(p *Profile) { p.Arrival = ArrivalBursty; p.BurstEndMS = 100 }, "burst_mult"},
+		{"burst window outside", func(p *Profile) {
+			p.Arrival = ArrivalBursty
+			p.BurstMult = 2
+			p.BurstStartMS = 1900
+			p.BurstEndMS = 2500
+		}, "burst window"},
+		{"bad write fraction", func(p *Profile) { p.WriteFraction = 1.5 }, "write fraction"},
+		{"negative skew", func(p *Profile) { p.Skew = -0.1 }, "skew"},
+		{"origin count", func(p *Profile) { p.Origins = []float64{1, 1} }, "origin"},
+		{"negative origin", func(p *Profile) { p.Origins = []float64{1, -1, 1, 1} }, "origin"},
+		{"all-zero origins", func(p *Profile) { p.Origins = []float64{0, 0, 0, 0} }, "origin"},
+		{"unknown geo", func(p *Profile) { p.Geo = "mars" }, "geo"},
+		{"ragged matrix", func(p *Profile) { p.MatrixMS = [][]int64{{0, 1}, {1}} }, "matrix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pr := base
+			tc.mutate(&pr)
+			err := pr.Validate(4)
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", pr)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.substr) {
+				t.Fatalf("error %q does not mention %q", err, tc.substr)
+			}
+		})
+	}
+	if err := base.Validate(4); err != nil {
+		t.Fatalf("default profile rejected: %v", err)
+	}
+}
+
+// TestProfileCanonicalRoundTrip checks parse(canonical(p)) == p and that
+// unknown fields are rejected.
+func TestProfileCanonicalRoundTrip(t *testing.T) {
+	pr := DefaultProfile()
+	pr.Arrival = ArrivalBursty
+	pr.BurstMult = 4
+	pr.BurstStartMS = 100
+	pr.BurstEndMS = 300
+	pr.Origins = []float64{1, 2}
+	data, err := pr.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := back.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("canonical round trip drifted:\n%s\nvs\n%s", data, data2)
+	}
+	if _, err := ParseProfile([]byte(`{"rate": 5, "warp": 9}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestGeoMatrixShapes checks the named profiles produce valid symmetric
+// matrices that MatrixPlan accepts.
+func TestGeoMatrixShapes(t *testing.T) {
+	for _, name := range []string{GeoLAN, GeoWAN3} {
+		for _, m := range []int{1, 2, 4, 7} {
+			matrix := GeoMatrix(name, m)
+			if len(matrix) != m {
+				t.Fatalf("%s/%d: %d rows", name, m, len(matrix))
+			}
+			pr := Profile{Geo: name}
+			if _, err := pr.LatencyPlan(m); err != nil {
+				t.Fatalf("%s/%d: %v", name, m, err)
+			}
+		}
+	}
+	if GeoMatrix(GeoNone, 4) != nil {
+		t.Fatal("GeoNone must produce no matrix")
+	}
+	pr := Profile{Geo: GeoNone}
+	plan, err := pr.LatencyPlan(4)
+	if err != nil || len(plan.Events) != 0 {
+		t.Fatalf("GeoNone plan: %d events, err %v", len(plan.Events), err)
+	}
+}

@@ -72,6 +72,29 @@ func (r *Registry) Snapshot() Snapshot {
 	return out
 }
 
+// CounterValue looks up a counter by name and exact label set and
+// returns its integral value. The second result is false when no such
+// instrument exists (or it is not a counter) — snapshot-file consumers
+// like drpload's cross-check use it to audit archived runs.
+func (s Snapshot) CounterValue(name string, labels map[string]string) (int64, bool) {
+	for _, is := range s.Instruments {
+		if is.Name != name || is.Kind != KindCounter || len(is.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if is.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return int64(is.Value), true
+		}
+	}
+	return 0, false
+}
+
 // Filter returns the snapshot restricted to instruments keep accepts,
 // preserving order.
 func (s Snapshot) Filter(keep func(InstrumentSnapshot) bool) Snapshot {

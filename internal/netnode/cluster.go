@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"drp/internal/core"
@@ -197,6 +198,19 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
 // Sites returns the number of sites in the cluster.
 func (c *Cluster) Sites() int { return c.p.Sites() }
+
+// TotalNTC sums the transfer cost accounted by every live node since it
+// started — deploy, serve and migration traffic alike. Load harnesses
+// diff it around a run to attribute cost to that run alone.
+func (c *Cluster) TotalNTC() int64 {
+	var total int64
+	for _, node := range c.nodes {
+		if node != nil {
+			total += node.NTC()
+		}
+	}
+	return total
+}
 
 // Scheme returns the currently deployed scheme, or nil when the deployed
 // plan has moved a primary (or drained a universe primary site) and so
